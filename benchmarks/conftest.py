@@ -1,0 +1,59 @@
+"""Shared labs and cached experiment results for the benchmark suite.
+
+Labs are built once per pytest session at a reduced scale so the whole
+suite (`pytest benchmarks/ --benchmark-only`) finishes in minutes; run
+``python -m repro.bench`` for the full-scale report that regenerates
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.bench import experiments as exps
+from repro.bench.lab import (MeterLab, MeterLabConfig, TpchLab,
+                             TpchLabConfig)
+
+BENCH_METER = MeterLabConfig(num_users=1000, num_days=8,
+                             readings_per_day=2)
+BENCH_TPCH = TpchLabConfig(num_orders=6000)
+
+
+@pytest.fixture(scope="session")
+def meter_lab() -> MeterLab:
+    return MeterLab(BENCH_METER)
+
+
+@pytest.fixture(scope="session")
+def tpch_lab() -> TpchLab:
+    return TpchLab(BENCH_TPCH)
+
+
+# Experiment results are cached per session so several bench files can
+# assert on the same run without recomputing it.
+@pytest.fixture(scope="session")
+def agg_experiment(meter_lab):
+    return exps.aggregation_queries(meter_lab)
+
+
+@pytest.fixture(scope="session")
+def groupby_experiment(meter_lab):
+    return exps.groupby_queries(meter_lab)
+
+
+@pytest.fixture(scope="session")
+def join_experiment(meter_lab):
+    return exps.join_queries(meter_lab)
+
+
+@pytest.fixture(scope="session")
+def partial_experiment(meter_lab):
+    return exps.partial_query(meter_lab)
+
+
+@pytest.fixture(scope="session")
+def tpch_experiment(tpch_lab):
+    return exps.tpch_q6(tpch_lab)
+
+
+@pytest.fixture(scope="session")
+def table2_experiment(meter_lab):
+    return exps.table2_index_build(meter_lab)

@@ -1,0 +1,79 @@
+"""Figures 11-13 + Table 4: GROUP BY queries (no pre-compute help)."""
+
+import pytest
+
+from repro.data.meter import METER_SCHEMA
+from repro.hive.session import QueryOptions
+
+SELECTIVITIES = ("point", 0.05, 0.12)
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_dgf_groupby(meter_lab, benchmark, selectivity):
+    session = meter_lab.dgf_session("medium")
+    sql = meter_lab.query_sql("groupby", selectivity)
+    result = benchmark.pedantic(
+        lambda: session.execute(sql, QueryOptions(index_name="dgf_idx")),
+        rounds=3, iterations=1)
+    assert "mode=slices" in result.stats.index_used
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_compact_groupby(meter_lab, benchmark, selectivity):
+    sql = meter_lab.query_sql("groupby", selectivity)
+    result = benchmark.pedantic(
+        lambda: meter_lab.compact_session.execute(
+            sql, QueryOptions(index_name="cmp_idx")),
+        rounds=3, iterations=1)
+    assert result.rows
+
+
+def test_hadoopdb_groupby(meter_lab, benchmark):
+    intervals = meter_lab.intervals_for(0.05)
+    result = benchmark.pedantic(
+        lambda: meter_lab.hadoopdb.group_by(
+            intervals, METER_SCHEMA.index_of("ts"),
+            METER_SCHEMA.index_of("powerconsumed")),
+        rounds=3, iterations=1)
+    assert result.rows
+
+
+class TestPaperShape:
+    def test_dgf_2_to_5x_faster(self, groupby_experiment):
+        """Paper: DGF is about 2-5x faster than Compact and HadoopDB on
+        non-aggregation queries."""
+        data = groupby_experiment.data
+        for selectivity in ("5%", "12%"):
+            dgf = data[f"{selectivity}/dgf-medium"]["seconds"]
+            assert dgf < data[f"{selectivity}/compact"]["seconds"]
+            assert dgf < data[f"{selectivity}/hadoopdb"]["seconds"]
+
+    def test_table4_records_exceed_accurate(self, groupby_experiment):
+        """Without headers DGF reads the whole query region (>= accurate),
+        ordered by interval size: L >= M >= S >= accurate."""
+        data = groupby_experiment.data
+        for selectivity in ("5%", "12%"):
+            reads = [data[f"{selectivity}/dgf-{c}"]["records_read"]
+                     for c in ("large", "medium", "small")]
+            accurate = data[f"{selectivity}/dgf-small"]["accurate"]
+            assert reads[0] >= reads[1] >= reads[2] >= accurate
+
+    def test_groupby_reads_more_than_aggregation(self, groupby_experiment,
+                                                 agg_experiment):
+        """Table 4 vs Table 3: the slice path must read the full query
+        region while the header path reads only the boundary."""
+        for selectivity in ("5%", "12%"):
+            for case in ("large", "medium", "small"):
+                key = f"{selectivity}/dgf-{case}"
+                assert groupby_experiment.data[key]["records_read"] \
+                    >= agg_experiment.data[key]["records_read"]
+
+    def test_index_read_time_grows_as_interval_shrinks(
+            self, groupby_experiment):
+        """Figures 12/13: more GFUs in the query region -> more key-value
+        gets -> larger 'read index' component."""
+        data = groupby_experiment.data
+        for selectivity in ("5%", "12%"):
+            index_times = [data[f"{selectivity}/dgf-{c}"]["index_seconds"]
+                           for c in ("large", "medium", "small")]
+            assert index_times[0] <= index_times[1] <= index_times[2]

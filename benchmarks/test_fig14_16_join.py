@@ -1,0 +1,66 @@
+"""Figures 14-16: JOIN query (meterdata x userInfo) with MDRQ predicate."""
+
+import pytest
+
+from repro.data.meter import METER_SCHEMA
+from repro.hive.session import QueryOptions
+
+SELECTIVITIES = ("point", 0.05, 0.12)
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_dgf_join(meter_lab, benchmark, selectivity):
+    session = meter_lab.dgf_session("medium")
+    sql = meter_lab.query_sql("join", selectivity)
+    result = benchmark.pedantic(
+        lambda: session.execute(sql, QueryOptions(index_name="dgf_idx")),
+        rounds=3, iterations=1)
+    assert "dgf" in result.stats.index_used
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_compact_join(meter_lab, benchmark, selectivity):
+    sql = meter_lab.query_sql("join", selectivity)
+    result = benchmark.pedantic(
+        lambda: meter_lab.compact_session.execute(
+            sql, QueryOptions(index_name="cmp_idx")),
+        rounds=3, iterations=1)
+    assert result.stats.output_records >= 0
+
+
+def test_hadoopdb_join(meter_lab, benchmark):
+    intervals = meter_lab.intervals_for(0.05)
+    value_pos = METER_SCHEMA.index_of("powerconsumed")
+    result = benchmark.pedantic(
+        lambda: meter_lab.hadoopdb.join(
+            intervals, METER_SCHEMA.index_of("userid"),
+            project=lambda fact, user: (user[1], fact[value_pos])),
+        rounds=3, iterations=1)
+    assert result.time.total > 0
+
+
+class TestPaperShape:
+    def test_dgf_fastest(self, join_experiment):
+        data = join_experiment.data
+        for selectivity in ("5%", "12%"):
+            dgf = data[f"{selectivity}/dgf-medium"]["seconds"]
+            assert dgf < data[f"{selectivity}/compact"]["seconds"]
+            assert dgf < data[f"{selectivity}/hadoopdb"]["seconds"]
+            assert dgf < data[f"{selectivity}/scan"]["seconds"]
+
+    def test_join_writes_output_directory(self, join_experiment):
+        """The paper's Listing 6 uses INSERT OVERWRITE DIRECTORY; join
+        times include materializing the result."""
+        for selectivity in ("5%", "12%"):
+            join_key = f"{selectivity}/dgf-medium"
+            assert join_experiment.data[join_key]["seconds"] > 0
+
+    def test_join_slower_than_groupby_same_predicate(
+            self, join_experiment, groupby_experiment):
+        """Joins add the build side + output write on top of the same
+        filtered read, so per system they cost at least as much."""
+        for selectivity in ("5%", "12%"):
+            for system in ("dgf-medium", "compact", "scan"):
+                key = f"{selectivity}/{system}"
+                assert join_experiment.data[key]["seconds"] \
+                    >= 0.9 * groupby_experiment.data[key]["seconds"]

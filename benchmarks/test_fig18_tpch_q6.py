@@ -1,0 +1,52 @@
+"""Figure 18: TPC-H Q6 query times (DGF vs Compact-2D/3D vs ScanTable)."""
+
+from repro.hive.session import QueryOptions
+
+
+def test_dgf_q6(tpch_lab, benchmark):
+    result = benchmark.pedantic(
+        lambda: tpch_lab.dgf_session.execute(
+            tpch_lab.q6(), QueryOptions(index_name="dgf_q6")),
+        rounds=3, iterations=1)
+    assert "mode=agg-headers" in result.stats.index_used
+
+
+def test_compact2_q6(tpch_lab, benchmark):
+    result = benchmark.pedantic(
+        lambda: tpch_lab.compact_session.execute(
+            tpch_lab.q6(), QueryOptions(index_name="cmp2")),
+        rounds=1, iterations=1)
+    assert "compact" in result.stats.index_used
+
+
+def test_scan_q6(tpch_lab, benchmark):
+    result = benchmark.pedantic(
+        lambda: tpch_lab.scan_session.execute(
+            tpch_lab.q6(), QueryOptions(use_index=False)),
+        rounds=1, iterations=1)
+    assert result.stats.index_used is None
+
+
+class TestFig18:
+    def test_dgf_much_faster(self, tpch_experiment):
+        """Paper: DGF ~25x faster than Compact on Q6."""
+        data = tpch_experiment.data
+        assert data["DGFIndex"]["seconds"] * 5 \
+            < data["Compact-2D"]["seconds"]
+        assert data["DGFIndex"]["seconds"] * 5 \
+            < data["Compact-3D"]["seconds"]
+        assert data["DGFIndex"]["seconds"] * 5 \
+            < data["ScanTable"]["seconds"]
+
+    def test_compact_no_better_than_scanning(self, tpch_experiment):
+        """Paper: on scattered data the Compact indexes are slower than
+        scanning the whole table (index-table scan is pure overhead)."""
+        data = tpch_experiment.data
+        rc_scan = data["ScanTable-RCFile"]["seconds"]
+        assert data["Compact-2D"]["seconds"] >= rc_scan
+        assert data["Compact-3D"]["seconds"] >= rc_scan
+
+    def test_compact3d_overhead_dominates(self, tpch_experiment):
+        data = tpch_experiment.data
+        assert data["Compact-3D"]["seconds"] \
+            > data["Compact-2D"]["seconds"]

@@ -1,0 +1,53 @@
+"""Figure 3: write throughput of DBMS-X (with/without index) vs HDFS.
+
+The benchmark times the three simulated load paths; the assertions check
+the paper's ordering (DBMS-X-with-index < DBMS-X-without-index << HDFS).
+"""
+
+from repro.bench import experiments as exps
+from repro.data.meter import METER_SCHEMA, MeterDataConfig, MeterDataGenerator
+from repro.rdbms.writer import measure_dbms_write, measure_hdfs_write
+
+ROWS = 20000
+
+
+def _rows():
+    config = MeterDataConfig(num_users=ROWS // 10, num_days=10,
+                             readings_per_day=1)
+    return [row for _, row in zip(range(ROWS),
+                                  MeterDataGenerator(config).iter_rows())]
+
+
+def test_fig3_dbms_with_index(benchmark):
+    rows = _rows()
+    key = METER_SCHEMA.index_of("userid")
+    result = benchmark.pedantic(
+        lambda: measure_dbms_write(rows, key, with_index=True),
+        rounds=1, iterations=1)
+    assert result.pool_misses > 0
+
+
+def test_fig3_dbms_without_index(benchmark):
+    rows = _rows()
+    key = METER_SCHEMA.index_of("userid")
+    result = benchmark.pedantic(
+        lambda: measure_dbms_write(rows, key, with_index=False),
+        rounds=1, iterations=1)
+    assert result.pool_misses == 0
+
+
+def test_fig3_hdfs(benchmark):
+    rows = _rows()
+    result = benchmark.pedantic(lambda: measure_hdfs_write(rows),
+                                rounds=1, iterations=1)
+    assert result.rows == ROWS
+
+
+def test_fig3_paper_shape(benchmark):
+    """Full experiment incl. the paper-shape assertion baked into it."""
+    result = benchmark.pedantic(
+        lambda: exps.fig3_write_throughput(num_rows=ROWS),
+        rounds=1, iterations=1)
+    throughputs = result.data["throughputs"]
+    assert throughputs["DBMS-X with index"] \
+        < throughputs["DBMS-X without index"] < throughputs["HDFS"]

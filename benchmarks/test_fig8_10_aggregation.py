@@ -1,0 +1,102 @@
+"""Figures 8-10: aggregation MDRQ times per system, per selectivity.
+
+Benchmarks the actual query executions (DGF / Compact / HadoopDB / scan);
+shape assertions use the cached full experiment.
+"""
+
+import pytest
+
+from repro.data.meter import METER_SCHEMA
+from repro.hive.session import QueryOptions
+
+SELECTIVITIES = ("point", 0.05, 0.12)
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_dgf_aggregation(meter_lab, benchmark, selectivity):
+    session = meter_lab.dgf_session("medium")
+    sql = meter_lab.query_sql("agg", selectivity)
+    result = benchmark.pedantic(
+        lambda: session.execute(sql, QueryOptions(index_name="dgf_idx")),
+        rounds=3, iterations=1)
+    assert "dgf" in result.stats.index_used
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_compact_aggregation(meter_lab, benchmark, selectivity):
+    session = meter_lab.compact_session
+    sql = meter_lab.query_sql("agg", selectivity)
+    result = benchmark.pedantic(
+        lambda: session.execute(sql, QueryOptions(index_name="cmp_idx")),
+        rounds=3, iterations=1)
+    assert "compact" in result.stats.index_used
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_hadoopdb_aggregation(meter_lab, benchmark, selectivity):
+    intervals = meter_lab.intervals_for(selectivity)
+    value_pos = METER_SCHEMA.index_of("powerconsumed")
+    result = benchmark.pedantic(
+        lambda: meter_lab.hadoopdb.aggregate(intervals, value_pos),
+        rounds=3, iterations=1)
+    assert result.time.total > 0
+
+
+def test_scan_aggregation(meter_lab, benchmark):
+    sql = meter_lab.query_sql("agg", 0.05)
+    result = benchmark.pedantic(
+        lambda: meter_lab.scan_session.execute(
+            sql, QueryOptions(use_index=False)),
+        rounds=1, iterations=1)
+    assert result.stats.index_used is None
+
+
+class TestPaperShape:
+    def test_dgf_beats_compact_and_hadoopdb(self, agg_experiment):
+        """The headline claim: 2-50x faster for aggregation queries."""
+        data = agg_experiment.data
+        for selectivity in ("point", "5%", "12%"):
+            dgf_best = min(data[f"{selectivity}/dgf-{c}"]["seconds"]
+                           for c in ("large", "medium", "small"))
+            assert dgf_best < data[f"{selectivity}/compact"]["seconds"]
+            assert dgf_best < data[f"{selectivity}/hadoopdb"]["seconds"]
+            assert dgf_best < data[f"{selectivity}/scan"]["seconds"]
+
+    def test_dgf_nearly_flat_across_selectivity(self, agg_experiment):
+        """Pre-computation makes DGF aggregation almost selectivity-
+        independent (paper Section 5.3.2) while scan stays flat-high and
+        the others grow."""
+        data = agg_experiment.data
+        for case in ("large", "medium", "small"):
+            times = [data[f"{s}/dgf-{case}"]["seconds"]
+                     for s in ("point", "5%", "12%")]
+            assert max(times) < 10 * max(min(times), 1.0)
+            assert max(times) < 0.6 * data["12%/scan"]["seconds"]
+
+    def test_compact_degrades_with_selectivity(self, agg_experiment):
+        data = agg_experiment.data
+        assert data["point/compact"]["seconds"] \
+            < data["5%/compact"]["seconds"] * 1.001
+        assert data["5%/compact"]["seconds"] \
+            <= data["12%/compact"]["seconds"] * 1.001
+
+    def test_hadoopdb_degrades_with_selectivity(self, agg_experiment):
+        data = agg_experiment.data
+        assert data["point/hadoopdb"]["seconds"] \
+            < data["5%/hadoopdb"]["seconds"] \
+            < data["12%/hadoopdb"]["seconds"]
+
+    def test_table3_records_read(self, agg_experiment):
+        """Table 3: DGF reads shrink as the interval shrinks; Compact
+        reads far more than the accurate count; DGF point queries read a
+        whole covering cell (more than accurate)."""
+        data = agg_experiment.data
+        for selectivity in ("5%", "12%"):
+            dgf = [data[f"{selectivity}/dgf-{c}"]["records_read"]
+                   for c in ("large", "medium", "small")]
+            assert dgf[0] >= dgf[1] >= dgf[2]
+            accurate = data[f"{selectivity}/dgf-large"]["accurate"]
+            assert data[f"{selectivity}/compact"]["records_read"] \
+                > accurate
+        point = data["point/dgf-large"]
+        assert point["records_read"] >= point["accurate"]

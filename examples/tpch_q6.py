@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""TPC-H Q6: the paper's "general case" experiment (Section 5.4).
+
+Loads a dbgen-like lineitem table — whose rows, unlike meter data, carry
+no physical time order — and answers Q6 three ways:
+
+* full scan,
+* Compact Index on (l_discount, l_quantity): chooses every split because
+  the values are evenly scattered, so it is pure overhead,
+* DGFIndex on (l_discount, l_quantity, l_shipdate) with
+  ``sum(l_extendedprice * l_discount)`` pre-computed: most of the answer
+  comes straight from GFU headers.
+
+Run:  python examples/tpch_q6.py
+"""
+
+from repro import HiveSession, QueryOptions
+from repro.data.tpch import (LINEITEM_SCHEMA, LineitemGenerator,
+                             TPCHConfig, q6_parameters, q6_sql)
+
+SCAN = QueryOptions(use_index=False)
+
+
+def load_lineitem(session, rows, stored_as):
+    columns = ", ".join(f"{c.name} {c.dtype.value}"
+                        for c in LINEITEM_SCHEMA.columns)
+    session.execute(f"CREATE TABLE lineitem ({columns}) "
+                    f"STORED AS {stored_as}")
+    third = len(rows) // 3 + 1
+    for i in range(0, len(rows), third):
+        session.load_rows("lineitem", rows[i:i + third])
+
+
+def report(label, result):
+    print(f"  {label:<22} answer={result.rows[0][0]:<14.2f} "
+          f"records read={result.stats.records_read:>7}  "
+          f"simulated={result.stats.simulated_seconds:7.1f}s  "
+          f"plan={result.stats.index_used or 'full scan'}")
+
+
+def main():
+    config = TPCHConfig(num_orders=8000)
+    rows = list(LineitemGenerator(config).iter_rows())
+    data_scale = config.paper_records / len(rows)
+    params = q6_parameters()
+    sql = q6_sql(params)
+    print(f"lineitem rows: {len(rows)} (standing in for the paper's "
+          f"4.1B)\nQ6: {sql}\n")
+
+    print("== ScanTable baseline (TextFile)")
+    scan_session = HiveSession(data_scale=data_scale)
+    scan_session.fs.block_size = 512 * 1024
+    load_lineitem(scan_session, rows, "TEXTFILE")
+    scan = scan_session.execute(sql, SCAN)
+    report("ScanTable", scan)
+
+    print("\n== Compact Index (RCFile base, 2-D)")
+    compact_session = HiveSession(data_scale=data_scale)
+    compact_session.fs.block_size = 512 * 1024
+    load_lineitem(compact_session, rows, "RCFILE")
+    compact_session.execute(
+        "CREATE INDEX cmp2 ON TABLE lineitem"
+        "(l_discount, l_quantity) AS 'compact'")
+    compact = compact_session.execute(sql, QueryOptions(index_name="cmp2"))
+    report("Compact-2D", compact)
+    print("  -> still read every record: evenly scattered values defeat "
+          "split-level filtering (paper Table 6)")
+
+    print("\n== DGFIndex (the paper's splitting policy)")
+    dgf_session = HiveSession(data_scale=data_scale)
+    dgf_session.fs.block_size = 512 * 1024
+    load_lineitem(dgf_session, rows, "TEXTFILE")
+    dgf_session.execute(
+        "CREATE INDEX dgf_q6 ON TABLE lineitem"
+        "(l_discount, l_quantity, l_shipdate) AS 'dgf' "
+        "IDXPROPERTIES ('l_discount'='0_0.01', 'l_quantity'='0_1.0', "
+        "'l_shipdate'='1992-01-01_100d', "
+        "'precompute'='sum(l_extendedprice * l_discount)')")
+    dgf = dgf_session.execute(sql, QueryOptions(index_name="dgf_q6"))
+    report("DGFIndex", dgf)
+
+    assert abs(dgf.rows[0][0] - scan.rows[0][0]) < 1e-6
+    assert abs(compact.rows[0][0] - scan.rows[0][0]) < 1e-6
+    print(f"\nDGF vs Compact speedup (simulated): "
+          f"{compact.stats.simulated_seconds / dgf.stats.simulated_seconds:.0f}x "
+          f"(paper: ~25x)")
+
+
+if __name__ == "__main__":
+    main()

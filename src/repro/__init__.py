@@ -1,0 +1,53 @@
+"""repro — a full reproduction of *DGFIndex for Smart Grid: Enhancing Hive
+with a Cost-Effective Multidimensional Range Index* (Liu et al., VLDB 2014)
+on a simulated Hadoop/Hive/HBase stack.
+
+Quick start::
+
+    from repro import HiveSession
+
+    session = HiveSession()
+    session.execute("CREATE TABLE meterdata (userid bigint, regionid int, "
+                    "ts date, powerconsumed double)")
+    session.load_rows("meterdata", rows)
+    session.execute("CREATE INDEX dgf_idx ON TABLE meterdata"
+                    "(userid, regionid, ts) AS 'dgf' IDXPROPERTIES ("
+                    "'userid'='0_200', 'regionid'='0_1', "
+                    "'ts'='2012-12-01_1d', "
+                    "'precompute'='sum(powerconsumed),count(*)')")
+    result = session.execute(
+        "SELECT sum(powerconsumed) FROM meterdata "
+        "WHERE userid >= 100 AND userid < 500 "
+        "AND ts >= '2012-12-05' AND ts < '2012-12-10'")
+    print(result.rows, result.stats.records_read,
+          result.stats.simulated_seconds)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.hive.session import HiveSession, QueryOptions, QueryResult
+from repro.core.dgf import (DgfIndexHandler, DimensionPolicy, PolicyAdvisor,
+                            SplittingPolicy, add_precompute,
+                            append_with_dgf)
+from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
+from repro.mapreduce.cost import CostModel, TimeBreakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HiveSession",
+    "QueryOptions",
+    "QueryResult",
+    "DgfIndexHandler",
+    "DimensionPolicy",
+    "SplittingPolicy",
+    "PolicyAdvisor",
+    "add_precompute",
+    "append_with_dgf",
+    "ClusterConfig",
+    "PAPER_CLUSTER",
+    "CostModel",
+    "TimeBreakdown",
+    "__version__",
+]

@@ -1,0 +1,10 @@
+"""Benchmark harness: one experiment per table/figure of the paper.
+
+``python -m repro.bench`` runs every experiment and regenerates the
+measured sections of ``EXPERIMENTS.md``.  The pytest-benchmark files under
+``benchmarks/`` wrap the same experiments for timing.
+"""
+
+from repro.bench.lab import MeterLab, MeterLabConfig, TpchLab, TpchLabConfig
+
+__all__ = ["MeterLab", "MeterLabConfig", "TpchLab", "TpchLabConfig"]

@@ -1,0 +1,46 @@
+"""``python -m repro.bench``: run all experiments, write EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.bench.lab import MeterLabConfig, TpchLabConfig
+from repro.bench.report import run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce every table/figure of the DGFIndex paper")
+    parser.add_argument("--output", default="EXPERIMENTS.md",
+                        help="where to write the report (default: "
+                             "EXPERIMENTS.md; '-' for stdout)")
+    parser.add_argument("--users", type=int, default=2000,
+                        help="meter-data users (default 2000)")
+    parser.add_argument("--days", type=int, default=10,
+                        help="meter-data days (default 10)")
+    parser.add_argument("--readings", type=int, default=4,
+                        help="readings per user-day (default 4)")
+    parser.add_argument("--tpch-orders", type=int, default=12000,
+                        help="TPC-H orders (default 12000)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    report = run_all(
+        MeterLabConfig(num_users=args.users, num_days=args.days,
+                       readings_per_day=args.readings),
+        TpchLabConfig(num_orders=args.tpch_orders),
+        verbose=not args.quiet)
+    if args.output == "-":
+        print(report)
+    else:
+        pathlib.Path(args.output).write_text(report)
+        if not args.quiet:
+            print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,525 @@
+"""One experiment per table/figure of the paper's evaluation section.
+
+Every experiment returns an :class:`ExpResult` whose rows are exactly the
+series the paper reports (systems x selectivities / interval sizes), with
+simulated paper-scale seconds split into the paper's stacked components
+("read index and other" / "read data and process") plus the measured raw
+counters.  Result *values* are cross-checked between systems inside each
+experiment — a reproduction that returns wrong answers fast would be
+meaningless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.lab import INTERVAL_CASES, SELECTIVITIES, MeterLab, TpchLab
+from repro.common.tables import render_table
+from repro.common.units import human_bytes
+from repro.data.meter import METER_SCHEMA, MeterDataConfig, MeterDataGenerator
+from repro.errors import BenchmarkError
+from repro.hive.session import QueryOptions
+from repro.rdbms.writer import measure_dbms_write, measure_hdfs_write
+
+
+@dataclass
+class ExpResult:
+    """Rendered + structured outcome of one experiment."""
+
+    exp_id: str
+    title: str
+    headers: List[str]
+    rows: List[Sequence[Any]]
+    notes: str = ""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def markdown(self) -> str:
+        table = render_table(self.headers, self.rows,
+                             title=f"{self.exp_id}: {self.title}")
+        if self.notes:
+            return f"{table}\n\n{self.notes}"
+        return table
+
+
+def _sel_label(selectivity) -> str:
+    return selectivity if selectivity == "point" \
+        else f"{int(selectivity * 100)}%"
+
+
+def _check_close(expected, actual, context: str, tolerance=1e-6) -> None:
+    if expected is None and actual is None:
+        return
+    if expected is None or actual is None:
+        raise BenchmarkError(f"{context}: {expected!r} vs {actual!r}")
+    if abs(float(expected) - float(actual)) > tolerance * max(
+            1.0, abs(float(expected))):
+        raise BenchmarkError(
+            f"{context}: results diverge: {expected} vs {actual}")
+
+
+# ------------------------------------------------------------------- Figure 3
+def fig3_write_throughput(num_rows: int = 30000) -> ExpResult:
+    """DBMS-X (with/without index) vs HDFS write throughput (MB/s)."""
+    config = MeterDataConfig(num_users=max(100, num_rows // 10),
+                             num_days=10, readings_per_day=1)
+    generator = MeterDataGenerator(config)
+    rows = [row for _i, row in zip(range(num_rows), generator.iter_rows())]
+    # Meter records carry random userIds relative to the B+-tree, because
+    # records arrive time-ordered while the index is keyed by userId.
+    key = METER_SCHEMA.index_of("userid")
+    with_index = measure_dbms_write(rows, key, with_index=True)
+    without_index = measure_dbms_write(rows, key, with_index=False)
+    hdfs = measure_hdfs_write(rows)
+    out_rows = [
+        (r.label, round(r.mb_per_second, 2), r.rows, r.pool_misses,
+         r.page_splits)
+        for r in (with_index, without_index, hdfs)
+    ]
+    result = ExpResult(
+        exp_id="fig3", title="Write throughput: DBMS-X vs HDFS (MB/s)",
+        headers=["system", "MB/s", "rows", "pool_misses", "page_splits"],
+        rows=out_rows,
+        notes=("Paper (log2 axis): DBMS-X-with-index < DBMS-X-without-index "
+               "<< HDFS, roughly 2-4 / 8-16 / 32-64 MB/s."),
+        data={"throughputs": {r.label: r.mb_per_second
+                              for r in (with_index, without_index, hdfs)}})
+    t = result.data["throughputs"]
+    if not (t["DBMS-X with index"] < t["DBMS-X without index"] < t["HDFS"]):
+        raise BenchmarkError(f"fig3 ordering violated: {t}")
+    return result
+
+
+# -------------------------------------------------------------------- Table 2
+def table2_index_build(lab: MeterLab) -> ExpResult:
+    """Index size and construction time (real-world dataset)."""
+    rows: List[Tuple] = []
+    data: Dict[str, Dict[str, float]] = {}
+
+    compact = lab.compact_session
+    if not any(i.name == "cmp3d"
+               for i in compact.metastore.indexes_on("meterdata")):
+        compact.execute("CREATE INDEX cmp3d ON TABLE meterdata"
+                        "(userid, regionid, ts) AS 'compact'")
+    report3 = compact.build_report("meterdata", "cmp3d")
+    report2 = compact.build_report("meterdata", "cmp_idx")
+    base_size = compact.fs.total_size(
+        compact.metastore.get_table("meterdata").data_location)
+    for label, report, dims in (("Compact", report3, 3),
+                                ("Compact", report2, 2)):
+        rows.append((label, "RCFile", dims,
+                     human_bytes(report.index_size_bytes),
+                     round(report.build_time.total, 1)))
+        data[f"compact-{dims}d"] = {
+            "size": report.index_size_bytes,
+            "seconds": report.build_time.total}
+    for case in INTERVAL_CASES:
+        session = lab.dgf_session(case)
+        report = session.build_report("meterdata", "dgf_idx")
+        rows.append((f"DGF-{case[0].upper()}", "TextFile", 3,
+                     human_bytes(report.index_size_bytes),
+                     round(report.build_time.total, 1)))
+        data[f"dgf-{case}"] = {"size": report.index_size_bytes,
+                               "seconds": report.build_time.total,
+                               "gfus": report.details["gfus"]}
+
+    # Invariants the paper reports that survive the scale-down (at paper
+    # scale there are ~3300 records per GFU; at laptop scale the grid is
+    # proportionally coarser, so absolute size *ratios* compress):
+    # the 3-D compact index explodes relative to the 2-D one and dominates
+    # DGF-L, and DGF sizes grow as the interval shrinks.
+    if not data["compact-3d"]["size"] > 20 * data["compact-2d"]["size"]:
+        raise BenchmarkError("table2: compact-3d did not explode vs 2-d")
+    if not data["compact-3d"]["size"] > data["dgf-large"]["size"]:
+        raise BenchmarkError("table2: compact-3d smaller than DGF-L")
+    if not (data["dgf-large"]["size"] < data["dgf-medium"]["size"]
+            < data["dgf-small"]["size"]):
+        raise BenchmarkError("table2: DGF sizes not ordered L < M < S")
+    data["base_table_size"] = base_size
+    return ExpResult(
+        exp_id="table2", title="Index size and construction time",
+        headers=["index", "table type", "dims", "size", "build seconds"],
+        rows=rows,
+        notes=(f"Base RCFile table: {human_bytes(base_size)}.  Paper: "
+               "Compact-3D 821GB (~= base table), Compact-2D 7MB, "
+               "DGF L/M/S 0.94/3/13MB; build time DGF > Compact-3D "
+               "because the base table is reorganized through a shuffle."),
+        data=data)
+
+
+# --------------------------------------------- Figures 8-10 + Table 3 (agg)
+def aggregation_queries(lab: MeterLab) -> ExpResult:
+    """Aggregation MDRQ across selectivities and interval sizes."""
+    return _query_experiment(
+        lab, kind="agg",
+        exp_id="fig8-10+table3",
+        title="Aggregation query (sum) — times and records read")
+
+
+# ------------------------------------------- Figures 11-13 + Table 4 (group)
+def groupby_queries(lab: MeterLab) -> ExpResult:
+    return _query_experiment(
+        lab, kind="groupby",
+        exp_id="fig11-13+table4",
+        title="GROUP BY query — times and records read")
+
+
+# -------------------------------------------------- Figures 14-16 (join)
+def join_queries(lab: MeterLab) -> ExpResult:
+    return _query_experiment(
+        lab, kind="join",
+        exp_id="fig14-16",
+        title="JOIN query (meterdata x userInfo) — times and records read")
+
+
+def _query_experiment(lab: MeterLab, kind: str, exp_id: str,
+                      title: str) -> ExpResult:
+    rows: List[Tuple] = []
+    data: Dict[str, Any] = {}
+    for selectivity in SELECTIVITIES:
+        label = _sel_label(selectivity)
+        sql = lab.query_sql(kind, selectivity)
+        accurate = lab.accurate_records(selectivity)
+
+        scan = lab.scan_session.execute(sql, QueryOptions(use_index=False))
+        reference = _reference_value(scan, kind)
+        rows.append((label, "ScanTable", "-",
+                     round(scan.stats.time.read_index_and_other, 1),
+                     round(scan.stats.time.read_data_and_process, 1),
+                     round(scan.stats.simulated_seconds, 1),
+                     scan.stats.records_read, accurate))
+        data[f"{label}/scan"] = _series(scan, accurate)
+
+        for case in INTERVAL_CASES:
+            result = lab.dgf_session(case).execute(
+                sql, QueryOptions(index_name="dgf_idx"))
+            _check_close(reference, _reference_value(result, kind),
+                         f"{exp_id} {label} dgf-{case}")
+            rows.append((label, f"DGF-{case[0].upper()}", case,
+                         round(result.stats.time.read_index_and_other, 1),
+                         round(result.stats.time.read_data_and_process, 1),
+                         round(result.stats.simulated_seconds, 1),
+                         result.stats.records_read, accurate))
+            data[f"{label}/dgf-{case}"] = _series(result, accurate)
+
+        compact = lab.compact_session.execute(
+            sql, QueryOptions(index_name="cmp_idx"))
+        _check_close(reference, _reference_value(compact, kind),
+                     f"{exp_id} {label} compact")
+        rows.append((label, "Compact-2D", "-",
+                     round(compact.stats.time.read_index_and_other, 1),
+                     round(compact.stats.time.read_data_and_process, 1),
+                     round(compact.stats.simulated_seconds, 1),
+                     compact.stats.records_read, accurate))
+        data[f"{label}/compact"] = _series(compact, accurate)
+
+        hdb = _run_hadoopdb(lab, kind, selectivity)
+        _check_close(reference, hdb["reference"],
+                     f"{exp_id} {label} hadoopdb")
+        rows.append((label, "HadoopDB", "-",
+                     round(hdb["time"].read_index_and_other, 1),
+                     round(hdb["time"].read_data_and_process, 1),
+                     round(hdb["time"].total, 1),
+                     hdb["rows_examined"], accurate))
+        data[f"{label}/hadoopdb"] = {
+            "seconds": hdb["time"].total,
+            "records_read": hdb["rows_examined"],
+            "accurate": accurate,
+        }
+    notes = ("Per selectivity, the paper's ordering: DGF fastest (nearly "
+             "flat for aggregation thanks to pre-computed headers), Compact "
+             "and HadoopDB degrade toward ScanTable as selectivity grows.")
+    return ExpResult(exp_id=exp_id, title=title,
+                     headers=["selectivity", "system", "interval",
+                              "index+other s", "data+process s", "total s",
+                              "records read", "accurate"],
+                     rows=rows, notes=notes, data=data)
+
+
+def _series(result, accurate: int) -> Dict[str, Any]:
+    return {
+        "seconds": result.stats.simulated_seconds,
+        "index_seconds": result.stats.time.read_index_and_other,
+        "data_seconds": result.stats.time.read_data_and_process,
+        "records_read": result.stats.records_read,
+        "accurate": accurate,
+        "index_used": result.stats.index_used,
+    }
+
+
+def _reference_value(result, kind: str):
+    """A comparable scalar summary of a query result for cross-checking."""
+    if kind == "agg":
+        return result.rows[0][0]
+    if kind == "groupby":
+        return round(sum(v for _k, v in result.rows), 6)
+    if kind == "join":
+        return round(sum(row[1] for row in result.rows), 6)
+    raise ValueError(kind)
+
+
+def _run_hadoopdb(lab: MeterLab, kind: str, selectivity) -> Dict[str, Any]:
+    intervals = lab.intervals_for(selectivity)
+    value_pos = METER_SCHEMA.index_of("powerconsumed")
+    if kind == "agg":
+        res = lab.hadoopdb.aggregate(intervals, value_pos)
+        reference = res.rows[0][0]
+    elif kind == "groupby":
+        res = lab.hadoopdb.group_by(intervals,
+                                    METER_SCHEMA.index_of("ts"), value_pos)
+        reference = round(sum(v for _k, v in res.rows), 6)
+    elif kind == "join":
+        key_pos = METER_SCHEMA.index_of("userid")
+        res = lab.hadoopdb.join(
+            intervals, key_pos,
+            project=lambda fact, user: (user[1], fact[value_pos]))
+        reference = round(sum(row[1] for row in res.rows), 6)
+    else:
+        raise ValueError(kind)
+    return {"time": res.time, "rows_examined": res.stats.rows_examined,
+            "reference": reference}
+
+
+# ------------------------------------------------------------------ Figure 17
+def partial_query(lab: MeterLab) -> ExpResult:
+    """Partial-specified predicate: fewer predicate dims than index dims."""
+    import datetime
+    start = lab.generator.config.start_date
+    day = (datetime.date.fromisoformat(start)
+           + datetime.timedelta(days=lab.config.num_days // 2)).isoformat()
+    sql = (f"SELECT sum(powerconsumed) FROM meterdata "
+           f"WHERE regionid = 5 AND ts = '{day}'")
+    rows: List[Tuple] = []
+    data: Dict[str, Any] = {}
+
+    scan = lab.scan_session.execute(sql, QueryOptions(use_index=False))
+    reference = scan.rows[0][0]
+
+    for case in INTERVAL_CASES:
+        session = lab.dgf_session(case)
+        pre = session.execute(sql, QueryOptions(index_name="dgf_idx"))
+        nopre = session.execute(sql, QueryOptions(
+            index_name="dgf_idx", dgf_use_precompute=False))
+        _check_close(reference, pre.rows[0][0], f"fig17 {case} precompute")
+        _check_close(reference, nopre.rows[0][0],
+                     f"fig17 {case} noprecompute")
+        rows.append((case, "DGF-precompute",
+                     round(pre.stats.simulated_seconds, 1),
+                     pre.stats.records_read))
+        rows.append((case, "DGF-noprecompute",
+                     round(nopre.stats.simulated_seconds, 1),
+                     nopre.stats.records_read))
+        data[f"{case}/pre"] = _series(pre, scan.stats.records_matched)
+        data[f"{case}/nopre"] = _series(nopre, scan.stats.records_matched)
+        if pre.stats.records_read > nopre.stats.records_read:
+            raise BenchmarkError(
+                "fig17: precompute read more data than noprecompute")
+
+    compact = lab.compact_session.execute(sql,
+                                          QueryOptions(index_name="cmp_idx"))
+    _check_close(reference, compact.rows[0][0], "fig17 compact")
+    rows.append(("-", "Compact-2D",
+                 round(compact.stats.simulated_seconds, 1),
+                 compact.stats.records_read))
+    data["compact"] = _series(compact, scan.stats.records_matched)
+    return ExpResult(
+        exp_id="fig17",
+        title="Partial-specified query (regionId + time only)",
+        headers=["interval", "system", "total s", "records read"],
+        rows=rows,
+        notes=("The missing userId dimension is completed from the min/max "
+               "standardized values in the key-value store.  Paper: DGF is "
+               "2-4.6x faster than Compact; precompute saves the inner "
+               "region's reads."),
+        data=data)
+
+
+# ------------------------------------------------ Tables 5-6 + Figure 18
+def tpch_q6(lab: TpchLab) -> ExpResult:
+    """TPC-H Q6: build costs, records read, query times."""
+    sql = lab.q6()
+    rows: List[Tuple] = []
+    data: Dict[str, Any] = {}
+
+    scan = lab.scan_session.execute(sql, QueryOptions(use_index=False))
+    reference = scan.rows[0][0]
+    accurate = scan.stats.records_matched
+    total_records = scan.stats.records_read
+
+    dgf_report = lab.dgf_session.build_report("lineitem", "dgf_q6")
+    cmp2_report = lab.compact_session.build_report("lineitem", "cmp2")
+    cmp3_report = lab.compact_session.build_report("lineitem", "cmp3")
+
+    dgf = lab.dgf_session.execute(sql, QueryOptions(index_name="dgf_q6"))
+    cmp2 = lab.compact_session.execute(sql, QueryOptions(index_name="cmp2"))
+    cmp3 = lab.compact_session.execute(sql, QueryOptions(index_name="cmp3"))
+    _check_close(reference, dgf.rows[0][0], "fig18 dgf", tolerance=1e-9)
+    _check_close(reference, cmp2.rows[0][0], "fig18 cmp2", tolerance=1e-9)
+    _check_close(reference, cmp3.rows[0][0], "fig18 cmp3", tolerance=1e-9)
+
+    for label, report, result in (
+            ("DGFIndex", dgf_report, dgf),
+            ("Compact-2D", cmp2_report, cmp2),
+            ("Compact-3D", cmp3_report, cmp3)):
+        rows.append((label, human_bytes(report.index_size_bytes),
+                     round(report.build_time.total, 1),
+                     result.stats.records_read,
+                     round(result.stats.time.read_index_and_other, 1),
+                     round(result.stats.time.read_data_and_process, 1),
+                     round(result.stats.simulated_seconds, 1)))
+        data[label] = {"size": report.index_size_bytes,
+                       "build_seconds": report.build_time.total,
+                       "records_read": result.stats.records_read,
+                       "seconds": result.stats.simulated_seconds}
+    rows.append(("ScanTable", "-", 0.0, scan.stats.records_read, 0.0,
+                 round(scan.stats.simulated_seconds, 1),
+                 round(scan.stats.simulated_seconds, 1)))
+    data["ScanTable"] = {"records_read": scan.stats.records_read,
+                         "seconds": scan.stats.simulated_seconds}
+    # Scanning the *RCFile* copy is the fair baseline for the Compact rows
+    # (the paper's "slower than scanning the whole table" claim).
+    rc_scan = lab.compact_session.execute(sql, QueryOptions(use_index=False))
+    _check_close(reference, rc_scan.rows[0][0], "fig18 rc-scan",
+                 tolerance=1e-9)
+    rows.append(("ScanTable (RCFile)", "-", 0.0, rc_scan.stats.records_read,
+                 0.0, round(rc_scan.stats.simulated_seconds, 1),
+                 round(rc_scan.stats.simulated_seconds, 1)))
+    data["ScanTable-RCFile"] = {
+        "records_read": rc_scan.stats.records_read,
+        "seconds": rc_scan.stats.simulated_seconds}
+    data["accurate"] = accurate
+    data["total_records"] = total_records
+
+    # The paper's headline claims on TPC-H:
+    if not data["DGFIndex"]["records_read"] < 0.2 * total_records:
+        raise BenchmarkError("tpch: DGF did not prune lineitem reads")
+    for label in ("Compact-2D", "Compact-3D"):
+        if data[label]["records_read"] < total_records:
+            raise BenchmarkError(
+                f"tpch: {label} filtered splits on evenly-scattered data "
+                "(the paper observes it cannot)")
+    return ExpResult(
+        exp_id="table5-6+fig18",
+        title="TPC-H Q6: index sizes, records read, query times",
+        headers=["system", "index size", "build s", "records read",
+                 "index+other s", "data+process s", "total s"],
+        rows=rows,
+        notes=(f"accurate = {accurate} of {total_records} lineitems "
+               "(~2% selectivity).  Paper: both Compact indexes read the "
+               "whole table (slower than scanning), DGF reads ~2% and is "
+               "~25x faster."),
+        data=data)
+
+
+# ----------------------------------------------------------------- ablations
+def ablation_advisor(lab: MeterLab) -> ExpResult:
+    """Splitting-policy advisor vs the fixed L/M/S policies."""
+    from repro.core.dgf.advisor import PolicyAdvisor
+    from repro.data.meter import METER_SCHEMA
+
+    advisor = PolicyAdvisor(
+        METER_SCHEMA, ["userid", "regionid", "ts"],
+        # boundary over-read must be costed at paper-scale record volume
+        records_per_unit_volume=len(lab.rows) * lab.data_scale)
+    history = [lab.intervals_for(s) for s in (0.05, 0.12, 0.05)]
+    sample = lab.rows[:: max(1, len(lab.rows) // 2000)]
+    policy = advisor.recommend(sample, history)
+    properties = PolicyAdvisor.properties_for(policy)
+
+    session = lab._new_session()
+    lab._load_meter(session, "TEXTFILE")
+    props_sql = ", ".join(f"'{k}'='{v}'" for k, v in properties.items())
+    session.execute(
+        "CREATE INDEX dgf_adv ON TABLE meterdata(userid, regionid, ts) "
+        f"AS 'dgf' IDXPROPERTIES ({props_sql}, "
+        "'precompute'='sum(powerconsumed),count(*)')")
+
+    rows: List[Tuple] = []
+    data: Dict[str, Any] = {"policy": properties}
+    for selectivity in (0.05, 0.12):
+        label = _sel_label(selectivity)
+        sql = lab.query_sql("agg", selectivity)
+        advised = session.execute(sql, QueryOptions(index_name="dgf_adv"))
+        rows.append((label, "DGF-advisor",
+                     round(advised.stats.simulated_seconds, 1),
+                     advised.stats.records_read))
+        data[f"{label}/advisor"] = _series(advised, -1)
+        for case in INTERVAL_CASES:
+            result = lab.dgf_session(case).execute(
+                sql, QueryOptions(index_name="dgf_idx"))
+            rows.append((label, f"DGF-{case[0].upper()}",
+                         round(result.stats.simulated_seconds, 1),
+                         result.stats.records_read))
+            data[f"{label}/{case}"] = _series(result, -1)
+    return ExpResult(
+        exp_id="ablation-advisor",
+        title="Splitting-policy advisor vs fixed L/M/S policies",
+        headers=["selectivity", "policy", "total s", "records read"],
+        rows=rows,
+        notes=f"Advisor chose: {properties} (paper future work, Section 8).",
+        data=data)
+
+
+def ablation_formats(lab: MeterLab) -> ExpResult:
+    """DGFIndex over an RCFile base table (the paper: 'easy to extend')."""
+    session = lab._new_session()
+    lab._load_meter(session, "RCFILE")
+    interval = lab.interval_size("medium")
+    session.execute(
+        "CREATE INDEX dgf_rc ON TABLE meterdata(userid, regionid, ts) "
+        f"AS 'dgf' IDXPROPERTIES ('userid'='0_{interval}', "
+        f"'regionid'='0_1', 'ts'='{lab.generator.config.start_date}_1d', "
+        "'precompute'='sum(powerconsumed),count(*)')")
+    rows: List[Tuple] = []
+    data: Dict[str, Any] = {}
+    for selectivity in ("point", 0.05):
+        label = _sel_label(selectivity)
+        sql = lab.query_sql("agg", selectivity)
+        text_result = lab.dgf_session("medium").execute(
+            sql, QueryOptions(index_name="dgf_idx"))
+        rc_result = session.execute(sql, QueryOptions(index_name="dgf_rc"))
+        _check_close(text_result.rows[0][0], rc_result.rows[0][0],
+                     f"formats {label}")
+        rows.append((label, "TextFile", text_result.stats.records_read,
+                     round(text_result.stats.simulated_seconds, 1)))
+        rows.append((label, "RCFile", rc_result.stats.records_read,
+                     round(rc_result.stats.simulated_seconds, 1)))
+        data[label] = {"text": text_result.stats.records_read,
+                       "rcfile": rc_result.stats.records_read}
+    return ExpResult(
+        exp_id="ablation-formats",
+        title="DGFIndex over TextFile vs RCFile base tables",
+        headers=["selectivity", "base format", "records read", "total s"],
+        rows=rows,
+        notes="Slices are row-group aligned in RCFile; results identical.",
+        data=data)
+
+
+def partition_explosion(dims: int = 3, values_per_dim: int = 100) -> ExpResult:
+    """The paper's NameNode argument: multi-dimensional partitioning
+    creates ``values^dims`` directories at 150 bytes of heap each."""
+    from repro.hdfs.filesystem import HDFS
+    fs = HDFS(num_datanodes=2)
+    # Creating 1M real directories is feasible but slow; create one full
+    # plane and extrapolate exactly (the memory model is exactly linear).
+    for first in range(values_per_dim):
+        fs.mkdirs(f"/warehouse/part/a={first}")
+    per_dir = 150
+    total_dirs = values_per_dim ** dims
+    projected = total_dirs * per_dir
+    measured_plane = fs.namenode.metadata_memory_bytes()
+    rows = [
+        (f"{values_per_dim} dirs (1 dim, measured)",
+         human_bytes(measured_plane)),
+        (f"{total_dirs:,} dirs ({dims} dims, projected)",
+         human_bytes(projected)),
+    ]
+    return ExpResult(
+        exp_id="partition-explosion",
+        title="NameNode memory of multi-dimensional partitioning",
+        headers=["scenario", "NameNode heap"],
+        rows=rows,
+        notes=("Paper Section 2.2: 3 dimensions x 100 values = 1M "
+               "directories = 143MB of NameNode memory, before files and "
+               "blocks."),
+        data={"projected_bytes": projected})

@@ -1,0 +1,15 @@
+"""Shared small utilities: size units, deterministic RNG, table rendering."""
+
+from repro.common.units import KiB, MiB, GiB, human_bytes, human_seconds
+from repro.common.rng import DeterministicRNG
+from repro.common.tables import render_table
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "human_bytes",
+    "human_seconds",
+    "DeterministicRNG",
+    "render_table",
+]

@@ -1,0 +1,42 @@
+"""Plain-text table rendering for benchmark reports and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render ``rows`` as a GitHub-flavoured markdown table.
+
+    >>> print(render_table(["a", "b"], [[1, "x"]]))
+    | a | b |
+    |---|---|
+    | 1 | x |
+    """
+    rendered_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)) + " |"
+
+    parts = []
+    if title:
+        parts.append(f"**{title}**")
+        parts.append("")
+    parts.append(line(list(headers)))
+    parts.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts).rstrip()
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

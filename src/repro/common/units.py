@@ -1,0 +1,43 @@
+"""Byte-size constants and human-readable formatting helpers."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count the way ``ls -h`` would.
+
+    >>> human_bytes(0)
+    '0B'
+    >>> human_bytes(2048)
+    '2.0KiB'
+    >>> human_bytes(3 * MiB)
+    '3.0MiB'
+    """
+    n = float(n)
+    for unit, size in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= size:
+            return f"{n / size:.1f}{unit}"
+    return f"{int(n)}B"
+
+
+def human_seconds(s: float) -> str:
+    """Format a duration in seconds compactly.
+
+    >>> human_seconds(0.5)
+    '0.50s'
+    >>> human_seconds(90)
+    '1m30s'
+    >>> human_seconds(3700)
+    '1h01m'
+    """
+    if s < 60:
+        return f"{s:.2f}s"
+    if s < 3600:
+        minutes, seconds = divmod(int(round(s)), 60)
+        return f"{minutes}m{seconds:02d}s"
+    hours, rem = divmod(int(round(s)), 3600)
+    return f"{hours}h{rem // 60:02d}m"

@@ -1,0 +1,1 @@
+"""The paper's primary contribution lives here (``repro.core.dgf``)."""

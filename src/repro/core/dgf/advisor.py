@@ -1,0 +1,212 @@
+"""Splitting-policy advisor — the paper's stated future work, implemented.
+
+"In future work, we will work on an algorithm to find the best splitting
+policy for DGFIndex based on the distribution of the meter data and the
+query history."  (Section 8.)
+
+The advisor balances the two costs the paper's experiments expose:
+
+* small cells -> many GFUs -> a bigger index and more key-value gets per
+  query (Figures 12/13's growing "read index" component);
+* large cells -> wide boundary regions -> more over-read data per query
+  (Table 3/4's growing record counts for DGF-L).
+
+For a query with range width ``W_i`` on dimension ``i`` and cell width
+``c_i``, the number of query-related cells is ``~prod(W_i / c_i)`` and the
+expected fraction of *boundary* volume is ``1 - prod(max(0, W_i - 2 c_i) /
+W_i)``.  The advisor multiplies these by the cost model's per-get latency
+and per-record CPU cost, averages over the query history, and minimizes by
+coordinate descent over a geometric grid of candidate cell counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dgf.policy import DimensionPolicy, SplittingPolicy
+from repro.errors import DGFError
+from repro.hiveql.predicates import Interval
+from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
+from repro.storage.schema import DataType, Schema, date_to_ordinal
+
+
+@dataclass
+class DimensionStats:
+    """Observed span of one index dimension in the data sample."""
+
+    name: str
+    dtype: DataType
+    low: float   # coordinate space (ordinals for dates)
+    high: float
+
+    @property
+    def span(self) -> float:
+        return max(self.high - self.low, 1.0)
+
+
+@dataclass
+class QueryProfile:
+    """One historical query: per-dimension range widths in coordinate
+    space (None = dimension unconstrained)."""
+
+    widths: Dict[str, Optional[float]]
+    weight: float = 1.0
+
+
+class PolicyAdvisor:
+    """Chooses interval sizes from a data sample and a query history."""
+
+    #: candidate number of cells per dimension (geometric grid)
+    CANDIDATE_CELL_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+    def __init__(self, schema: Schema, index_columns: Sequence[str],
+                 cluster: ClusterConfig = PAPER_CLUSTER,
+                 records_per_unit_volume: float = 1.0):
+        self.schema = schema
+        self.index_columns = list(index_columns)
+        self.cluster = cluster
+        #: expected matching records per unit of normalized query volume
+        #: (callers pass total_records so boundary over-read is in records)
+        self.records_per_unit_volume = records_per_unit_volume
+
+    # ------------------------------------------------------------- profiling
+    def profile_data(self, rows: Sequence[Sequence],
+                     ) -> Dict[str, DimensionStats]:
+        """Min/max per index dimension over a sample of rows."""
+        if not rows:
+            raise DGFError("cannot profile an empty sample")
+        stats: Dict[str, DimensionStats] = {}
+        for name in self.index_columns:
+            position = self.schema.index_of(name)
+            dtype = self.schema.dtype_of(name)
+            coords = [self._coord(dtype, row[position]) for row in rows]
+            stats[name.lower()] = DimensionStats(
+                name=name, dtype=dtype, low=min(coords), high=max(coords))
+        return stats
+
+    def profile_queries(self, histories: Sequence[Dict[str, Interval]],
+                        stats: Dict[str, DimensionStats]
+                        ) -> List[QueryProfile]:
+        """Turn interval predicates into per-dimension range widths."""
+        profiles = []
+        for intervals in histories:
+            widths: Dict[str, Optional[float]] = {}
+            for name in self.index_columns:
+                key = name.lower()
+                interval = intervals.get(key)
+                if interval is None:
+                    widths[key] = None
+                    continue
+                dim = stats[key]
+                low = self._coord(dim.dtype, interval.low) \
+                    if interval.low is not None else dim.low
+                high = self._coord(dim.dtype, interval.high) \
+                    if interval.high is not None else dim.high
+                widths[key] = max(high - low, 1e-9)
+            profiles.append(QueryProfile(widths=widths))
+        return profiles
+
+    @staticmethod
+    def _coord(dtype: DataType, value) -> float:
+        if dtype is DataType.DATE:
+            return float(date_to_ordinal(value))
+        return float(value)
+
+    # ------------------------------------------------------------------ cost
+    def expected_query_cost(self, cell_counts: Dict[str, int],
+                            stats: Dict[str, DimensionStats],
+                            profiles: Sequence[QueryProfile]) -> float:
+        """Average modelled seconds per query for a candidate grid."""
+        c = self.cluster
+        total = 0.0
+        weight_sum = 0.0
+        for profile in profiles:
+            cells = 1.0
+            inside_fraction = 1.0
+            volume_fraction = 1.0
+            for key, count in cell_counts.items():
+                dim = stats[key]
+                cell_width = dim.span / count
+                width = profile.widths.get(key)
+                if width is None:
+                    width = dim.span
+                cells *= max(1.0, width / cell_width)
+                inside_fraction *= max(0.0, width - 2 * cell_width) \
+                    / dim.span
+                volume_fraction *= width / dim.span
+            boundary_records = (self.records_per_unit_volume
+                                * max(0.0, volume_fraction
+                                      - inside_fraction))
+            slots = c.total_map_slots
+            cost = (cells * c.kv_get_seconds
+                    + boundary_records * c.cpu_seconds_per_record / slots)
+            total += profile.weight * cost
+            weight_sum += profile.weight
+        return total / max(weight_sum, 1e-12)
+
+    # ------------------------------------------------------------ the search
+    def recommend(self, rows: Sequence[Sequence],
+                  query_history: Sequence[Dict[str, Interval]],
+                  passes: int = 3) -> SplittingPolicy:
+        """Coordinate-descent search for the cheapest splitting policy."""
+        stats = self.profile_data(rows)
+        profiles = self.profile_queries(query_history, stats)
+        if not profiles:
+            raise DGFError("advisor needs at least one historical query")
+
+        cell_counts = {name.lower(): 16 for name in self.index_columns}
+        for _ in range(passes):
+            improved = False
+            for name in self.index_columns:
+                key = name.lower()
+                best_count = cell_counts[key]
+                best_cost = self.expected_query_cost(cell_counts, stats,
+                                                     profiles)
+                for candidate in self.CANDIDATE_CELL_COUNTS:
+                    cell_counts[key] = candidate
+                    cost = self.expected_query_cost(cell_counts, stats,
+                                                    profiles)
+                    if cost < best_cost - 1e-15:
+                        best_cost = cost
+                        best_count = candidate
+                cell_counts[key] = best_count
+                improved = improved or best_count != cell_counts[key]
+        return self._to_policy(cell_counts, stats)
+
+    def _to_policy(self, cell_counts: Dict[str, int],
+                   stats: Dict[str, DimensionStats]) -> SplittingPolicy:
+        dims = []
+        for name in self.index_columns:
+            key = name.lower()
+            dim = stats[key]
+            interval = dim.span / cell_counts[key]
+            if dim.dtype in (DataType.INT, DataType.BIGINT, DataType.DATE):
+                interval = max(1.0, math.ceil(interval))
+            origin = dim.low
+            if dim.dtype is DataType.DATE:
+                from repro.storage.schema import ordinal_to_date
+                origin_value = ordinal_to_date(int(origin))
+            elif dim.dtype in (DataType.INT, DataType.BIGINT):
+                origin_value = int(origin)
+            else:
+                origin_value = origin
+            dims.append(DimensionPolicy(name=dim.name, dtype=dim.dtype,
+                                        origin=origin_value,
+                                        interval=interval))
+        return SplittingPolicy(dims)
+
+    @staticmethod
+    def properties_for(policy: SplittingPolicy) -> Dict[str, str]:
+        """Render a policy as ``IDXPROPERTIES`` values (Listing 3 syntax)."""
+        out: Dict[str, str] = {}
+        for dim in policy.dimensions:
+            if dim.dtype is DataType.DATE:
+                out[dim.name] = f"{dim.origin}_{int(dim.interval)}d"
+            else:
+                interval = dim.interval
+                interval_text = str(int(interval)) \
+                    if interval == int(interval) else str(interval)
+                out[dim.name] = f"{dim.origin}_{interval_text}"
+        return out

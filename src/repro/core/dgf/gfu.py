@@ -1,0 +1,65 @@
+"""GFU key-value model: what DGFIndex stores per grid-file unit.
+
+``GFUValue`` = header (pre-computed additive aggregate states, keyed by the
+canonical aggregate text such as ``sum(powerconsumed)``) + the location(s)
+of the GFU's Slice on HDFS.  The paper stores exactly one slice per GFU;
+appended data (new files, no rebuild) can add further slices for a key, so
+locations are a list whose first build always has length one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class SliceLocation:
+    """A contiguous byte range of one HDFS file holding one GFU's records.
+
+    The range is half-open ``[start, end)`` (the paper stores the offset of
+    the last record instead; half-open ranges compose with split boundaries
+    without knowing record lengths — a documented divergence).
+    """
+
+    file: str
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, start: int, end: int) -> bool:
+        return self.start < end and start < self.end
+
+    def clip(self, start: int, end: int) -> "SliceLocation":
+        """The portion of this slice inside ``[start, end)`` (a slice that
+        stretches across two splits is divided between their mappers)."""
+        return SliceLocation(self.file, max(self.start, start),
+                             min(self.end, end))
+
+
+@dataclass
+class GFUValue:
+    """Header + slice locations of one GFU."""
+
+    header: Dict[str, Any] = field(default_factory=dict)
+    locations: List[SliceLocation] = field(default_factory=list)
+    records: int = 0
+
+    def merge(self, other: "GFUValue", merge_fns: Dict[str, Any]) -> None:
+        """Fold another build generation's value into this one (appends).
+
+        ``merge_fns`` maps canonical aggregate keys to their
+        :class:`~repro.hive.aggregates.AggFunction` so header states merge
+        additively.
+        """
+        for key, state in other.header.items():
+            if key in self.header and key in merge_fns:
+                self.header[key] = merge_fns[key].merge(self.header[key],
+                                                        state)
+            else:
+                self.header[key] = state
+        self.locations.extend(other.locations)
+        self.records += other.records

@@ -1,0 +1,97 @@
+"""Grid search: decompose a query region into inner and boundary GFUs.
+
+This is the heart of Algorithm 3.  Overlap and coverage are separable per
+dimension, so the query-related cells are the Cartesian product of each
+dimension's overlapping cell range, and a cell is *inner* exactly when it
+is covered in every dimension.
+
+Dimensions missing from the predicate use the min/max standardized values
+recorded at construction time (the paper's partial-specified query
+handling), which arrive here as the ``bounds`` clamp.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.dgf.policy import SplittingPolicy
+from repro.hiveql.predicates import Interval
+
+
+@dataclass
+class GridSearchResult:
+    """Inner/boundary cell keys of one query region."""
+
+    inner_keys: List[str] = field(default_factory=list)
+    boundary_keys: List[str] = field(default_factory=list)
+    #: True when the query region is empty (some dimension had no cells)
+    empty: bool = False
+
+    @property
+    def all_keys(self) -> List[str]:
+        return self.inner_keys + self.boundary_keys
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.inner_keys) + len(self.boundary_keys)
+
+
+def search_grid(policy: SplittingPolicy,
+                intervals: Dict[str, Optional[Interval]],
+                bounds: Dict[str, Tuple[int, int]],
+                force_all_boundary: bool = False) -> GridSearchResult:
+    """Classify the query-related cells of ``policy``.
+
+    ``intervals``: per dimension (lower-case name), the predicate interval
+    or None when the dimension is unconstrained.
+    ``bounds``: per dimension, the inclusive (min, max) cell indexes
+    observed at build time.
+    ``force_all_boundary``: treat every cell as boundary — used when the
+    header path cannot be applied (non-aggregation queries, Figure 17's
+    no-precompute ablation) and every query cell's slice must be read.
+    """
+    per_dim: List[List[Tuple[int, bool]]] = []
+    for dim in policy.dimensions:
+        name = dim.name.lower()
+        interval = intervals.get(name)
+        k_min, k_max = bounds[name]
+        span = dim.cell_span(interval, k_min, k_max)
+        if span is None:
+            return GridSearchResult(empty=True)
+        lo_k, hi_k = span
+        cells: List[Tuple[int, bool]] = []
+        for k in range(lo_k, hi_k + 1):
+            if not dim.overlaps_cell(interval, k):
+                continue
+            covered = (not force_all_boundary
+                       and dim.covers_cell(interval, k))
+            cells.append((k, covered))
+        if not cells:
+            return GridSearchResult(empty=True)
+        per_dim.append(cells)
+
+    result = GridSearchResult()
+    for combo in itertools.product(*per_dim):
+        key = policy.key_of_cells([k for k, _covered in combo])
+        if all(covered for _k, covered in combo):
+            result.inner_keys.append(key)
+        else:
+            result.boundary_keys.append(key)
+    return result
+
+
+def estimate_cells(policy: SplittingPolicy,
+                   intervals: Dict[str, Optional[Interval]],
+                   bounds: Dict[str, Tuple[int, int]]) -> int:
+    """Number of query-related cells without materializing the keys (used
+    by the policy advisor's cost estimates)."""
+    total = 1
+    for dim in policy.dimensions:
+        name = dim.name.lower()
+        span = dim.cell_span(intervals.get(name), *bounds[name])
+        if span is None:
+            return 0
+        total *= span[1] - span[0] + 1
+    return total

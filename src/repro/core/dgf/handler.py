@@ -1,0 +1,175 @@
+"""DgfIndexHandler: DGFIndex's integration with the Hive planner.
+
+Implements Algorithm 3 of the paper: extract the per-dimension intervals
+from the predicate (completing missing dimensions with the stored min/max
+standardized values), decompose the query region into inner and boundary
+GFUs, and either
+
+* **aggregation path** — answer the inner region from pre-computed headers
+  and hand Hive only the boundary slices to scan with the exact predicate,
+  or
+* **slice path** — hand Hive the slice locations of *all* query-related
+  GFUs so ``getSplits`` can filter splits and the record reader can skip
+  unrelated slices inside each split.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.dgf import builder
+from repro.core.dgf.gfu import GFUValue, SliceLocation
+from repro.core.dgf.grid import GridSearchResult, search_grid
+from repro.core.dgf.inputformat import DgfSliceInputFormat, slices_to_splits
+from repro.core.dgf.store import DgfStore
+from repro.errors import DGFError
+from repro.hive.aggregates import (AggFunction, AvgAgg, CountAgg, MaxAgg,
+                                   MinAgg, SumAgg)
+from repro.hive.indexhandler import (BuildReport, IndexAccessPlan,
+                                     IndexHandler, QueryIndexContext)
+from repro.hive.metastore import IndexInfo, TableInfo
+
+
+def merge_function_for(key: str) -> AggFunction:
+    """The additive function behind a canonical header key."""
+    name = key.split("(", 1)[0]
+    functions = {"sum": SumAgg, "count": CountAgg, "min": MinAgg,
+                 "max": MaxAgg}
+    if name not in functions:
+        raise DGFError(f"no additive merge function for header {key!r}")
+    return functions[name]()
+
+
+def _avg_components(key: str) -> Optional[Tuple[str, str]]:
+    """``avg(x)`` is derivable from ``sum(x)`` and ``count(*)``."""
+    if not key.startswith("avg("):
+        return None
+    arg = key[4:-1]
+    return f"sum({arg})", "count(*)"
+
+
+class DgfIndexHandler(IndexHandler):
+    handler_name = "dgf"
+
+    # ------------------------------------------------------------------ build
+    def build(self, session, index: IndexInfo) -> BuildReport:
+        return builder.build_dgf_index(session, index)
+
+    def drop(self, session, index: IndexInfo) -> None:
+        DgfStore(session.kvstore, index.table, index.name).clear()
+
+    # ------------------------------------------------------------------ query
+    def plan_access(self, session, table: TableInfo, index: IndexInfo,
+                    ctx: QueryIndexContext) -> Optional[IndexAccessPlan]:
+        store = DgfStore(session.kvstore, table.name, index.name)
+        policy = store.load_policy()
+        bounds = store.load_bounds()
+
+        intervals = {}
+        constrained = False
+        for dim in policy.dimensions:
+            interval = ctx.ranges.interval_for(dim.name)
+            intervals[dim.name.lower()] = interval
+            if interval is not None:
+                constrained = True
+        if not constrained:
+            return None  # nothing to filter on; a full scan is as good
+
+        precomputed: Set[str] = set(store.get_meta("precompute"))
+        agg_path = self._aggregation_path_applies(ctx, policy, precomputed)
+
+        kv_before = session.kvstore.snapshot_stats()
+        search = search_grid(policy, intervals, bounds,
+                             force_all_boundary=not agg_path)
+
+        header_states: Optional[Dict[str, Any]] = None
+        slices: List[SliceLocation] = []
+        inner_hits = boundary_hits = 0
+        if agg_path:
+            inner_values = store.multi_get(search.inner_keys)
+            inner_hits = len(inner_values)
+            header_states = self._merge_headers(ctx.agg_keys,
+                                                inner_values.values())
+            boundary_values = store.multi_get(search.boundary_keys)
+            boundary_hits = len(boundary_values)
+            for value in boundary_values.values():
+                slices.extend(value.locations)
+        else:
+            values = store.multi_get(search.all_keys)
+            boundary_hits = len(values)
+            for value in values.values():
+                slices.extend(value.locations)
+
+        splits, total_splits = slices_to_splits(session.fs, table, slices)
+        kv_delta = session.kvstore.stats_delta(kv_before)
+        index_time = session.cost_model.kv_seconds(kv_delta)
+
+        mode = "agg-headers" if agg_path else "slices"
+        return IndexAccessPlan(
+            description=(f"dgf({index.name}) mode={mode} "
+                         f"inner={inner_hits} boundary={boundary_hits} "
+                         f"splits={len(splits)}/{total_splits}"),
+            splits=splits,
+            input_format=DgfSliceInputFormat(table),
+            index_time=index_time,
+            header_states=header_states,
+            index_kv_gets=kv_delta.gets)
+
+    # ----------------------------------------------------------------- pieces
+    def _aggregation_path_applies(self, ctx: QueryIndexContext, policy,
+                                  precomputed: Set[str]) -> bool:
+        """Headers may replace inner-region scans only when (a) the query is
+        a plain aggregation whose aggregates are all pre-computed (or
+        derivable), and (b) the predicate is *exactly* a conjunction of
+        ranges over index dimensions — otherwise inner cells could contain
+        non-matching rows."""
+        if not (ctx.is_plain_aggregation and ctx.use_precompute
+                and ctx.agg_keys):
+            return False
+        if not ctx.ranges.exact:
+            return False
+        dims = {d.name.lower() for d in policy.dimensions}
+        if not set(ctx.ranges.intervals) <= dims:
+            return False
+        for key in ctx.agg_keys:
+            if key in precomputed:
+                continue
+            avg = _avg_components(key)
+            if avg is not None and all(c in precomputed for c in avg):
+                continue
+            return False
+        return True
+
+    def _merge_headers(self, agg_keys: List[str],
+                       values) -> Dict[str, Any]:
+        """Fold the inner GFUs' header states per requested aggregate."""
+        values = list(values)
+        merged: Dict[str, Any] = {}
+        for key in agg_keys:
+            avg = _avg_components(key)
+            if avg is None:
+                function = merge_function_for(key)
+                state = None
+                for value in values:
+                    part = value.header.get(key)
+                    if part is None:
+                        continue
+                    state = part if state is None \
+                        else function.merge(state, part)
+                if state is not None:
+                    merged[key] = state
+            else:
+                sum_key, count_key = avg
+                total = None
+                count = 0
+                for value in values:
+                    part_sum = value.header.get(sum_key)
+                    if part_sum is not None:
+                        total = part_sum if total is None \
+                            else total + part_sum
+                    count += value.header.get(count_key, 0)
+                if count:
+                    # AvgAgg state is the additive (sum, count) pair.
+                    merged[key] = (total if total is not None else 0.0,
+                                   count)
+        return merged

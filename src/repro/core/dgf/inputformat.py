@@ -1,0 +1,120 @@
+"""DgfInputFormat: split filtering and the slice-skipping RecordReader.
+
+This is steps 2 and 3 of the paper's query pipeline (Algorithm 4): splits
+are kept only if they overlap a query-related Slice, each chosen split
+carries its ordered ``<split, slicesInSplit>`` list, and the record reader
+reads only those byte ranges, skipping the margins between adjacent slices.
+A Slice stretching across two splits is divided between their mappers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.dgf.gfu import SliceLocation
+from repro.hdfs.filesystem import HDFS
+from repro.hive.metastore import TableInfo
+from repro.mapreduce.splits import FileSplit, InputFormat
+from repro.storage.rcfile import RCFileReader
+from repro.storage.schema import Schema
+from repro.storage.sequencefile import SequenceFileReader
+from repro.storage.textfile import TextFileReader, parse_line
+
+SLICES_META_KEY = "slices"
+
+
+def merge_ranges(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and coalesce adjacent/overlapping byte ranges."""
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(r for r in ranges if r[0] < r[1]):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def slices_to_splits(fs: HDFS, table: TableInfo,
+                     slices: List[SliceLocation]) -> Tuple[List[FileSplit], int]:
+    """The getSplits filter: block-aligned splits of the reorganized files,
+    keeping only the splits that overlap a query slice; each kept split's
+    ``meta["slices"]`` holds the ordered, clipped byte ranges it must read.
+
+    Returns ``(chosen_splits, total_splits)`` for reporting.
+    """
+    by_file: Dict[str, List[Tuple[int, int]]] = {}
+    for location in slices:
+        by_file.setdefault(location.file, []).append(
+            (location.start, location.end))
+    for path in by_file:
+        by_file[path] = merge_ranges(by_file[path])
+
+    base = InputFormat()
+    root = table.data_location
+    if not fs.exists(root):
+        return [], 0
+    all_splits = base.get_splits(fs, [root])
+    chosen: List[FileSplit] = []
+    for split in all_splits:
+        ranges = by_file.get(split.path)
+        if not ranges:
+            continue
+        clipped = [(max(start, split.start), min(end, split.end))
+                   for start, end in ranges
+                   if start < split.end and split.start < end]
+        if not clipped:
+            continue
+        split.meta[SLICES_META_KEY] = clipped
+        chosen.append(split)
+    return chosen, len(all_splits)
+
+
+class DgfSliceInputFormat(InputFormat):
+    """Reads only the slice byte ranges attached to each split."""
+
+    def __init__(self, table: TableInfo):
+        self.table = table
+        self.schema: Schema = table.schema
+        self._format = table.stored_as.upper()
+
+    def read_split(self, fs: HDFS, split: FileSplit
+                   ) -> Iterator[Tuple[int, Tuple]]:
+        ranges: List[Tuple[int, int]] = split.meta.get(SLICES_META_KEY, [])
+        if not ranges:
+            return
+        if self._format == "TEXTFILE":
+            yield from self._read_text(fs, split, ranges)
+        elif self._format == "RCFILE":
+            yield from self._read_rcfile(fs, split, ranges)
+        elif self._format == "SEQUENCEFILE":
+            yield from self._read_sequence(fs, split, ranges)
+        else:  # pragma: no cover - formats are validated at table creation
+            raise AssertionError(f"unexpected format {self._format}")
+
+    def _read_text(self, fs, split, ranges):
+        with fs.open(split.path) as stream:
+            reader = TextFileReader(stream, self.schema)
+            for start, end in ranges:
+                yield from reader.iter_rows(start, end)
+
+    def _read_sequence(self, fs, split, ranges):
+        with fs.open(split.path) as stream:
+            reader = SequenceFileReader(stream)
+            for start, end in ranges:
+                for offset, _key, value in reader.iter_records(start, end):
+                    yield offset, parse_line(value.decode("utf-8"),
+                                             self.schema)
+
+    def _read_rcfile(self, fs, split, ranges):
+        """Slices are row-group aligned (the builder flushes per slice), so
+        reading the groups whose header starts inside a range is exact."""
+        starts = [r[0] for r in ranges]
+        with fs.open(split.path) as stream:
+            reader = RCFileReader(stream, self.schema)
+            for group_offset, _nrows in list(reader.iter_groups(0, None)):
+                idx = bisect.bisect_right(starts, group_offset) - 1
+                if idx < 0 or group_offset >= ranges[idx][1]:
+                    continue
+                for row in reader.read_group_rows(group_offset):
+                    yield group_offset, row

@@ -1,0 +1,257 @@
+"""Splitting policies: the grid geometry of a DGFIndex.
+
+A policy gives every index dimension an *origin* and an *interval size*;
+dimension values are "standardized" (paper's term) to the lower coordinate
+of their grid cell.  Cells are left-closed/right-open, matching the paper's
+``[1, 4)`` example.
+
+Coordinates are handled in an internal numeric space: numeric columns map
+to themselves, DATE columns map to proleptic ordinal days, so "1 day"
+intervals are exact integer arithmetic.  Discrete dimensions (INT, BIGINT,
+DATE) know that a cell ``[lo, hi)`` contains only the integers
+``lo .. hi-1``, which makes equality predicates (e.g. ``time =
+'2012-12-30'`` with 1-day cells, the paper's partial-specified query) cover
+whole cells and thus benefit from pre-computed headers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import DGFError
+from repro.hiveql.predicates import Interval
+from repro.storage.schema import (DataType, Schema, date_to_ordinal,
+                                  ordinal_to_date)
+
+#: guard against float rounding when computing cell indexes
+_EPSILON = 1e-9
+
+#: GFUKey segment separator (the paper's ``7_13`` style keys)
+KEY_SEPARATOR = "_"
+
+
+@dataclass(frozen=True)
+class DimensionPolicy:
+    """Origin + interval size of one index dimension."""
+
+    name: str
+    dtype: DataType
+    origin: Any          # raw domain value (number, or ISO date string)
+    interval: float      # cell width (days for DATE)
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise DGFError(f"dimension {self.name!r}: interval must be > 0")
+        if self.dtype is DataType.DATE:
+            try:
+                date_to_ordinal(self.origin)
+            except (ValueError, TypeError) as error:
+                raise DGFError(
+                    f"dimension {self.name!r}: origin must be an ISO date, "
+                    f"got {self.origin!r}") from error
+        elif not isinstance(self.origin, (int, float)):
+            raise DGFError(
+                f"dimension {self.name!r}: numeric origin required, "
+                f"got {self.origin!r}")
+        if self.dtype in (DataType.INT, DataType.BIGINT, DataType.DATE) \
+                and self.interval != int(self.interval):
+            raise DGFError(
+                f"dimension {self.name!r}: discrete dimensions need an "
+                f"integer interval, got {self.interval}")
+
+    # ------------------------------------------------------- coordinate space
+    @property
+    def is_discrete(self) -> bool:
+        return self.dtype in (DataType.INT, DataType.BIGINT, DataType.DATE)
+
+    def to_coord(self, raw: Any) -> float:
+        if self.dtype is DataType.DATE:
+            return float(date_to_ordinal(raw))
+        return float(raw)
+
+    def from_coord(self, coord: float) -> Any:
+        if self.dtype is DataType.DATE:
+            return ordinal_to_date(int(round(coord)))
+        if self.dtype in (DataType.INT, DataType.BIGINT):
+            return int(round(coord))
+        return coord
+
+    @property
+    def _origin_coord(self) -> float:
+        return self.to_coord(self.origin)
+
+    # ---------------------------------------------------------------- cells
+    def cell_of(self, raw: Any) -> int:
+        """Grid cell index containing ``raw``."""
+        offset = (self.to_coord(raw) - self._origin_coord) / self.interval
+        return int(math.floor(offset + _EPSILON))
+
+    def cell_start(self, k: int) -> Any:
+        return self.from_coord(self._origin_coord + k * self.interval)
+
+    def cell_end(self, k: int) -> Any:
+        return self.from_coord(self._origin_coord + (k + 1) * self.interval)
+
+    def standardize(self, raw: Any) -> Any:
+        """The paper's "standard" method: the cell's lower coordinate."""
+        return self.cell_start(self.cell_of(raw))
+
+    def label(self, k: int) -> str:
+        """GFUKey segment for cell ``k``."""
+        start = self.cell_start(k)
+        if isinstance(start, float) and start == int(start):
+            return str(int(start))
+        return str(start)
+
+    def parse_label(self, label: str) -> Any:
+        """Inverse of :meth:`label`: the raw cell-start value."""
+        if self.dtype is DataType.DATE:
+            return label
+        value = float(label)
+        return int(value) if value == int(value) else value
+
+    # ------------------------------------------------------------ intervals
+    def cell_span(self, interval: Optional[Interval],
+                  k_min: int, k_max: int) -> Optional[Tuple[int, int]]:
+        """Inclusive cell-index range overlapping ``interval``, clamped to
+        the observed data bounds ``[k_min, k_max]``; None if empty."""
+        lo_k, hi_k = k_min, k_max
+        if interval is not None:
+            if interval.is_empty:
+                return None
+            if interval.low is not None:
+                lo_k = max(lo_k, self.cell_of(interval.low))
+            if interval.high is not None:
+                hi_k = min(hi_k, self.cell_of(interval.high))
+                # an exclusive high that sits exactly on a cell boundary
+                # does not reach into that cell
+                if (not interval.high_inclusive
+                        and self._on_boundary(interval.high)):
+                    hi_k = min(hi_k, self.cell_of(interval.high) - 1)
+        if lo_k > hi_k:
+            return None
+        return lo_k, hi_k
+
+    def _on_boundary(self, raw: Any) -> bool:
+        offset = (self.to_coord(raw) - self._origin_coord) / self.interval
+        return abs(offset - round(offset)) < _EPSILON
+
+    def covers_cell(self, interval: Optional[Interval], k: int) -> bool:
+        """Is cell ``k`` entirely inside ``interval``?"""
+        if interval is None:
+            return True  # unconstrained dimension covers everything
+        start = self.cell_start(k)
+        end = self.cell_end(k)
+        if self.is_discrete:
+            last = self.from_coord(self.to_coord(end) - 1)
+            return interval.contains(start) and interval.contains(last)
+        return interval.covers_range(start, end)
+
+    def overlaps_cell(self, interval: Optional[Interval], k: int) -> bool:
+        if interval is None:
+            return True
+        return interval.overlaps_range(self.cell_start(k), self.cell_end(k))
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "dtype": self.dtype.value,
+                "origin": self.origin, "interval": self.interval}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DimensionPolicy":
+        return cls(name=data["name"], dtype=DataType(data["dtype"]),
+                   origin=data["origin"], interval=data["interval"])
+
+    @classmethod
+    def from_spec(cls, name: str, dtype: DataType,
+                  spec: str) -> "DimensionPolicy":
+        """Parse the ``IDXPROPERTIES`` value, e.g. ``'1_3'`` (origin 1,
+        interval 3) or ``'2012-12-01_7d'`` (weekly cells from Dec 1)."""
+        if KEY_SEPARATOR not in spec:
+            raise DGFError(
+                f"dimension {name!r}: spec {spec!r} must be "
+                f"'<origin>{KEY_SEPARATOR}<interval>'")
+        origin_text, interval_text = spec.rsplit(KEY_SEPARATOR, 1)
+        if dtype is DataType.DATE:
+            if not interval_text.endswith("d"):
+                raise DGFError(
+                    f"dimension {name!r}: date intervals use day units, "
+                    f"e.g. '1d'; got {interval_text!r}")
+            return cls(name=name, dtype=dtype, origin=origin_text,
+                       interval=float(interval_text[:-1]))
+        origin = float(origin_text)
+        if origin == int(origin):
+            origin = int(origin)
+        return cls(name=name, dtype=dtype, origin=origin,
+                   interval=float(interval_text))
+
+
+class SplittingPolicy:
+    """The full grid: one :class:`DimensionPolicy` per index dimension,
+    in index-column order."""
+
+    def __init__(self, dimensions: Sequence[DimensionPolicy]):
+        if not dimensions:
+            raise DGFError("a splitting policy needs at least one dimension")
+        names = [d.name.lower() for d in dimensions]
+        if len(set(names)) != len(names):
+            raise DGFError(f"duplicate dimensions in policy: {names}")
+        self.dimensions: Tuple[DimensionPolicy, ...] = tuple(dimensions)
+
+    def __len__(self) -> int:
+        return len(self.dimensions)
+
+    def __iter__(self):
+        return iter(self.dimensions)
+
+    def dimension(self, name: str) -> DimensionPolicy:
+        for dim in self.dimensions:
+            if dim.name.lower() == name.lower():
+                return dim
+        raise DGFError(f"policy has no dimension {name!r}")
+
+    @property
+    def names(self) -> List[str]:
+        return [d.name for d in self.dimensions]
+
+    # ------------------------------------------------------------------ keys
+    def key_of_cells(self, cells: Sequence[int]) -> str:
+        """GFUKey for a cell-index vector (the lower-left coordinate)."""
+        return KEY_SEPARATOR.join(
+            dim.label(k) for dim, k in zip(self.dimensions, cells))
+
+    def key_of_row(self, values: Sequence[Any]) -> str:
+        """GFUKey of the row whose index-dimension values are ``values``."""
+        return self.key_of_cells(
+            [dim.cell_of(v) for dim, v in zip(self.dimensions, values)])
+
+    def cells_of_row(self, values: Sequence[Any]) -> Tuple[int, ...]:
+        return tuple(dim.cell_of(v)
+                     for dim, v in zip(self.dimensions, values))
+
+    # -------------------------------------------------------- serialization
+    @classmethod
+    def from_properties(cls, schema: Schema, columns: Sequence[str],
+                        properties: Dict[str, str]) -> "SplittingPolicy":
+        """Build the policy from ``CREATE INDEX`` properties (Listing 3)."""
+        lowered = {k.lower(): v for k, v in properties.items()}
+        dims = []
+        for column in columns:
+            spec = lowered.get(column.lower())
+            if spec is None:
+                raise DGFError(
+                    f"IDXPROPERTIES is missing the splitting spec for "
+                    f"dimension {column!r}")
+            dims.append(DimensionPolicy.from_spec(
+                column, schema.dtype_of(column), spec))
+        return cls(dims)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"dimensions": [d.to_dict() for d in self.dimensions]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SplittingPolicy":
+        return cls([DimensionPolicy.from_dict(d)
+                    for d in data["dimensions"]])

@@ -1,0 +1,108 @@
+"""Key-value persistence of a DGFIndex: GFU entries + index metadata.
+
+Keys are namespaced per (table, index) so several DGF indexes (on different
+tables) can share one store, exactly like HBase tables sharing a cluster:
+
+* ``dgf:<table>:<index>:<gfukey>``      -> GFUValue
+* ``dgfmeta:<table>:<index>:<name>``    -> metadata (policy, bounds, ...)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.dgf.gfu import GFUValue, SliceLocation
+from repro.core.dgf.policy import SplittingPolicy
+from repro.errors import DGFError
+from repro.kvstore.hbase import KVStore
+from repro.mapreduce.engine import estimate_size
+
+
+class DgfStore:
+    """Typed access to one index's slice of the key-value store."""
+
+    def __init__(self, kvstore: KVStore, table: str, index: str):
+        self.kvstore = kvstore
+        self._prefix = f"dgf:{table.lower()}:{index.lower()}:"
+        self._meta_prefix = f"dgfmeta:{table.lower()}:{index.lower()}:"
+
+    # ------------------------------------------------------------ GFU values
+    def gfu_key(self, cell_key: str) -> str:
+        return self._prefix + cell_key
+
+    def put_value(self, cell_key: str, value: GFUValue) -> None:
+        self.kvstore.put(self.gfu_key(cell_key), value)
+
+    def get_value(self, cell_key: str) -> Optional[GFUValue]:
+        return self.kvstore.get(self.gfu_key(cell_key))
+
+    def multi_get(self, cell_keys) -> Dict[str, GFUValue]:
+        """Batch get; returns only the cells that exist, by bare cell key."""
+        out: Dict[str, GFUValue] = {}
+        for cell_key in cell_keys:
+            value = self.kvstore.get(self.gfu_key(cell_key))
+            if value is not None:
+                out[cell_key] = value
+        return out
+
+    def merge_value(self, cell_key: str, value: GFUValue,
+                    merge_fns: Dict[str, Any]) -> None:
+        """Append path: fold a new generation's GFUValue into an existing
+        entry (or create it)."""
+        existing = self.get_value(cell_key)
+        if existing is None:
+            self.put_value(cell_key, value)
+            return
+        existing.merge(value, merge_fns)
+        self.put_value(cell_key, existing)
+
+    def iter_entries(self) -> Iterator[Tuple[str, GFUValue]]:
+        stop = self._prefix + "\U0010ffff"
+        for key, value in self.kvstore.scan(self._prefix, stop):
+            yield key[len(self._prefix):], value
+
+    def count_entries(self) -> int:
+        return sum(1 for _ in self.iter_entries())
+
+    def clear(self) -> None:
+        for key in [self.gfu_key(cell) for cell, _ in self.iter_entries()]:
+            self.kvstore.delete(key)
+        for name in list(self._meta_names()):
+            self.kvstore.delete(self._meta_prefix + name)
+
+    # --------------------------------------------------------------- metadata
+    def put_meta(self, name: str, value: Any) -> None:
+        self.kvstore.put(self._meta_prefix + name, value)
+
+    def get_meta(self, name: str) -> Any:
+        value = self.kvstore.get(self._meta_prefix + name)
+        if value is None:
+            raise DGFError(f"missing DGFIndex metadata {name!r}; "
+                           "was the index built?")
+        return value
+
+    def _meta_names(self) -> Iterator[str]:
+        stop = self._meta_prefix + "\U0010ffff"
+        for key, _value in self.kvstore.scan(self._meta_prefix, stop):
+            yield key[len(self._meta_prefix):]
+
+    # ------------------------------------------------------------ inspection
+    def load_policy(self) -> SplittingPolicy:
+        return SplittingPolicy.from_dict(self.get_meta("policy"))
+
+    def load_bounds(self) -> Dict[str, Tuple[int, int]]:
+        return dict(self.get_meta("bounds"))
+
+    def size_bytes(self) -> int:
+        """Serialized size of all entries (the paper's "index size" for
+        DGFIndex, Table 2/5)."""
+        total = 0
+        for cell_key, value in self.iter_entries():
+            payload = (
+                dict(value.header),
+                [(loc.file, loc.start, loc.end) for loc in value.locations],
+                value.records,
+            )
+            total += len(self._prefix) + len(cell_key)
+            total += estimate_size(payload)
+        return total

@@ -1,0 +1,15 @@
+"""Workload data generators: smart-grid meter data and TPC-H lineitem."""
+
+from repro.data.meter import (METER_SCHEMA, USER_INFO_SCHEMA,
+                              MeterDataConfig, MeterDataGenerator)
+from repro.data.tpch import LINEITEM_SCHEMA, LineitemGenerator, q6_parameters
+
+__all__ = [
+    "METER_SCHEMA",
+    "USER_INFO_SCHEMA",
+    "MeterDataConfig",
+    "MeterDataGenerator",
+    "LINEITEM_SCHEMA",
+    "LineitemGenerator",
+    "q6_parameters",
+]

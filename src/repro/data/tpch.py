@@ -1,0 +1,131 @@
+"""TPC-H lineitem generator (dbgen-faithful domains, scaled down).
+
+Used for the paper's general-case experiments (Section 5.4, Tables 5/6 and
+Figure 18, TPC-H Q6).  The crucial property, noted by the paper, is that
+lineitem rows are *evenly scattered* — unlike meter data they carry no
+physical time ordering, which is why the Compact Index cannot filter any
+split on this dataset.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.common.rng import DeterministicRNG
+from repro.storage.schema import DataType, Schema
+
+LINEITEM_SCHEMA = Schema.of(
+    ("l_orderkey", DataType.BIGINT),
+    ("l_partkey", DataType.BIGINT),
+    ("l_suppkey", DataType.BIGINT),
+    ("l_linenumber", DataType.INT),
+    ("l_quantity", DataType.DOUBLE),
+    ("l_extendedprice", DataType.DOUBLE),
+    ("l_discount", DataType.DOUBLE),
+    ("l_tax", DataType.DOUBLE),
+    ("l_returnflag", DataType.STRING),
+    ("l_linestatus", DataType.STRING),
+    ("l_shipdate", DataType.DATE),
+    ("l_commitdate", DataType.DATE),
+    ("l_receiptdate", DataType.DATE),
+    ("l_shipinstruct", DataType.STRING),
+    ("l_shipmode", DataType.STRING),
+    ("l_comment", DataType.STRING),
+)
+
+_SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+_SHIP_INSTRUCTIONS = ("DELIVER IN PERSON", "COLLECT COD", "NONE",
+                      "TAKE BACK RETURN")
+_COMMENT_WORDS = ("carefully", "quickly", "furiously", "deposits", "foxes",
+                  "packages", "accounts", "requests", "pending", "final")
+
+#: dbgen date domain: shipdate in [STARTDATE+1, ENDDATE-151+121]
+_START_DATE = datetime.date(1992, 1, 1)
+_DATE_SPAN_DAYS = 2526  # ~1992-01-02 .. 1998-12-01, as in dbgen
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """``num_orders`` orders x 1-7 lineitems each (dbgen's distribution)."""
+
+    num_orders: int = 15000
+    seed: int = 19920101
+
+    @property
+    def paper_records(self) -> int:
+        return 4_100_000_000  # the paper's lineitem row count
+
+
+class LineitemGenerator:
+    """Deterministic lineitem rows with dbgen value domains."""
+
+    def __init__(self, config: TPCHConfig = TPCHConfig()):
+        self.config = config
+        self._rng = DeterministicRNG(config.seed)
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        rng = self._rng.child("lineitem")
+        for order in range(1, self.config.num_orders + 1):
+            for line in range(1, rng.randint(1, 7) + 1):
+                yield self._record(order, line, rng)
+
+    def _record(self, orderkey: int, linenumber: int,
+                rng: DeterministicRNG) -> Tuple:
+        quantity = float(rng.randint(1, 50))
+        partkey = rng.randint(1, 200000)
+        extended = round(quantity * (900.0 + (partkey % 1000) + 100.0), 2)
+        discount = round(rng.randint(0, 10) / 100.0, 2)
+        tax = round(rng.randint(0, 8) / 100.0, 2)
+        shipdate = _START_DATE + datetime.timedelta(
+            days=rng.randint(1, _DATE_SPAN_DAYS))
+        commitdate = shipdate + datetime.timedelta(days=rng.randint(-30, 60))
+        receiptdate = shipdate + datetime.timedelta(days=rng.randint(1, 30))
+        returnflag = "R" if receiptdate <= datetime.date(1995, 6, 17) \
+            else rng.choice(("A", "N"))
+        linestatus = "F" if shipdate <= datetime.date(1995, 6, 17) else "O"
+        comment = " ".join(rng.choice(_COMMENT_WORDS)
+                           for _ in range(rng.randint(2, 5)))
+        return (
+            orderkey,
+            partkey,
+            rng.randint(1, 10000),
+            linenumber,
+            quantity,
+            extended,
+            discount,
+            tax,
+            returnflag,
+            linestatus,
+            shipdate.isoformat(),
+            commitdate.isoformat(),
+            receiptdate.isoformat(),
+            rng.choice(_SHIP_INSTRUCTIONS),
+            rng.choice(_SHIP_MODES),
+            comment,
+        )
+
+
+def q6_parameters(seed: int = 3) -> Dict[str, object]:
+    """Standard Q6 substitution parameters (TPC-H 2.18, default stream):
+    DATE = 1994-01-01, DISCOUNT = 0.06, QUANTITY = 24."""
+    return {
+        "date_lo": "1994-01-01",
+        "date_hi": "1995-01-01",
+        "discount_lo": 0.05,
+        "discount_hi": 0.07,
+        "quantity": 24,
+    }
+
+
+def q6_sql(params: Dict[str, object]) -> str:
+    """TPC-H Q6 in the HiveQL subset (BETWEEN expanded to closed bounds)."""
+    return (
+        "SELECT sum(l_extendedprice * l_discount) FROM lineitem "
+        f"WHERE l_shipdate >= '{params['date_lo']}' "
+        f"AND l_shipdate < '{params['date_hi']}' "
+        f"AND l_discount >= {params['discount_lo']} "
+        f"AND l_discount <= {params['discount_hi']} "
+        f"AND l_quantity < {params['quantity']}"
+    )

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class.  Subsystems raise the most specific
+subclass that applies; error messages always name the offending object
+(path, table, key, ...) to keep failures debuggable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class HDFSError(ReproError):
+    """Base class for simulated-HDFS errors."""
+
+
+class FileNotFoundInHDFS(HDFSError):
+    """A path does not exist in the simulated namespace."""
+
+
+class FileAlreadyExists(HDFSError):
+    """Attempt to create a path that already exists."""
+
+
+class NotADirectory(HDFSError):
+    """A path component that must be a directory is a file."""
+
+
+class IsADirectory(HDFSError):
+    """A file operation was attempted on a directory."""
+
+
+class StorageFormatError(ReproError):
+    """Corrupt or inconsistent data encountered by a file-format codec."""
+
+
+class SchemaError(ReproError):
+    """Schema definition or row/schema mismatch errors."""
+
+
+class MapReduceError(ReproError):
+    """Failures inside the MapReduce engine (job config, task errors)."""
+
+
+class KVStoreError(ReproError):
+    """Errors from the HBase-like key-value store."""
+
+
+class HiveQLSyntaxError(ReproError):
+    """Lexer/parser error with position information."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            snippet = text[max(0, position - 20):position + 20]
+            message = f"{message} (at offset {position}: ...{snippet!r}...)"
+        super().__init__(message)
+
+
+class SemanticError(ReproError):
+    """Valid syntax but invalid semantics (unknown table/column, type error)."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a query plan."""
+
+
+class MetastoreError(ReproError):
+    """Unknown or duplicate table/index/partition in the metastore."""
+
+
+class IndexError_(ReproError):
+    """Index construction or usage errors (named with trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class DGFError(IndexError_):
+    """DGFIndex-specific errors (bad splitting policy, missing metadata)."""
+
+
+class HadoopDBError(ReproError):
+    """Errors from the HadoopDB baseline engine."""
+
+
+class BenchmarkError(ReproError):
+    """Experiment-harness configuration errors."""

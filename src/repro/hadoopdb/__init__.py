@@ -1,0 +1,10 @@
+"""HadoopDB baseline (Abouzeid et al., VLDB 2009), as deployed in the
+paper: PostgreSQL on every worker as the storage layer, Hadoop as the
+computation layer, GlobalHasher/LocalHasher partitioning by userId, and a
+multi-column (userId, regionId, time) index per chunk database.
+"""
+
+from repro.hadoopdb.localdb import LocalDB, ChunkQueryStats
+from repro.hadoopdb.engine import HadoopDB, HadoopDBConfig
+
+__all__ = ["LocalDB", "ChunkQueryStats", "HadoopDB", "HadoopDBConfig"]

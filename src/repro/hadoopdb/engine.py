@@ -1,0 +1,241 @@
+"""The HadoopDB engine: hash partitioning, query pushdown, MR collection.
+
+Deployment follows the paper's Section 5.2 exactly:
+
+* GlobalHasher partitions meter data into one partition per node (28) by
+  userId; LocalHasher splits each partition into chunk databases;
+* each chunk gets a multi-column index on (userId, regionId, time);
+* the user-info archive table is partitioned by userId per node and then
+  replicated "to all the databases of current node";
+* a query is pushed into every chunk database, and a MapReduce job collects
+  the partial results (the paper extends HadoopDB's task code the same way
+  because SMS only supports specific queries).
+
+The time model encodes the paper's two stated degradation mechanisms:
+chunk queries on one node *share that node's disk* (resource competition),
+and batch reads through the RDBMS page path are slower than HDFS streaming.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import HadoopDBError
+from repro.hadoopdb.localdb import PAGE_BYTES, ChunkQueryStats, LocalDB
+from repro.hiveql.predicates import Interval
+from repro.mapreduce.cost import TimeBreakdown
+
+
+@dataclass(frozen=True)
+class HadoopDBConfig:
+    """Cluster shape + page-path parameters (paper-scale defaults)."""
+
+    num_nodes: int = 28
+    chunks_per_node: int = 4          # scaled down from the paper's 38
+    paper_chunks_per_node: int = 38   # for per-chunk overhead accounting
+    cores_per_node: int = 8
+    #: RDBMS page-path read bandwidth — the "low batch reading performance
+    #: of RDBMS" the paper cites; deliberately below HDFS streaming speed.
+    page_read_bandwidth: float = 20e6
+    cpu_seconds_per_row: float = 20e-6
+    #: per-chunk query dispatch overhead (connection + planning)
+    chunk_overhead_seconds: float = 0.2
+    #: the collecting MapReduce job's launch overhead
+    collect_launch_seconds: float = 15.0
+    #: rows per heap page at paper scale (8 KiB pages / ~100 B rows)
+    rows_per_page: int = 80
+    #: matched rows cluster in runs of roughly this many rows (users report
+    #: in fixed collector order within each time slot), which lets a bitmap
+    #: heap scan skip page runs; divides the per-page hit exponent.
+    heap_cluster_factor: float = 10.0
+
+
+@dataclass
+class HadoopDBQueryResult:
+    rows: List[Tuple]
+    stats: ChunkQueryStats
+    time: TimeBreakdown
+    per_node_stats: List[ChunkQueryStats] = field(default_factory=list)
+
+
+def _stable_hash(value: Any) -> int:
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+class HadoopDB:
+    """The full multi-node deployment."""
+
+    def __init__(self, schema, index_columns: Iterable[str],
+                 partition_column: str,
+                 config: HadoopDBConfig = HadoopDBConfig(),
+                 data_scale: float = 1.0,
+                 row_bytes: int = 100):
+        self.schema = schema
+        self.config = config
+        self.data_scale = float(data_scale)
+        self._partition_position = schema.index_of(partition_column)
+        self._chunks: List[List[LocalDB]] = [
+            [LocalDB(schema, list(index_columns), row_bytes=row_bytes)
+             for _ in range(config.chunks_per_node)]
+            for _ in range(config.num_nodes)
+        ]
+        #: archive tables replicated per node: join key -> rows
+        self._archive: List[Dict[Any, List[Tuple]]] = [
+            dict() for _ in range(config.num_nodes)]
+        self._loaded = False
+
+    # ----------------------------------------------------------------- loads
+    def load(self, rows: Iterable[Tuple]) -> int:
+        """GlobalHasher (node) + LocalHasher (chunk), both on userId."""
+        cfg = self.config
+        buckets: List[List[List[Tuple]]] = [
+            [[] for _ in range(cfg.chunks_per_node)]
+            for _ in range(cfg.num_nodes)]
+        count = 0
+        for row in rows:
+            key = row[self._partition_position]
+            node = _stable_hash(key) % cfg.num_nodes
+            chunk = (_stable_hash(key) // cfg.num_nodes) \
+                % cfg.chunks_per_node
+            buckets[node][chunk].append(tuple(row))
+            count += 1
+        for node, node_buckets in enumerate(buckets):
+            for chunk, bucket in enumerate(node_buckets):
+                db = self._chunks[node][chunk]
+                db.bulk_load(bucket)
+                db.build_index()
+        self._loaded = True
+        return count
+
+    def load_archive(self, rows: Iterable[Tuple], key_position: int) -> int:
+        """Partition the archive by userId per node, then replicate it to
+        every chunk database of that node (the paper's layout); since the
+        copies per node are identical we keep one hash map per node."""
+        count = 0
+        for row in rows:
+            node = _stable_hash(row[key_position]) % self.config.num_nodes
+            self._archive[node].setdefault(row[key_position],
+                                           []).append(tuple(row))
+            count += 1
+        return count
+
+    @property
+    def total_rows(self) -> int:
+        return sum(db.num_rows for node in self._chunks for db in node)
+
+    # --------------------------------------------------------------- queries
+    def aggregate(self, intervals: Dict[str, Interval],
+                  value_position: int) -> HadoopDBQueryResult:
+        """``SELECT sum(col) WHERE <intervals>`` pushed into every chunk."""
+        def per_chunk(db: LocalDB):
+            rows, stats = db.select(intervals)
+            total = sum(row[value_position] for row in rows)
+            return [(total, len(rows))], stats
+
+        collected, stats, per_node = self._push_down(per_chunk)
+        grand_total = sum(t for t, _n in collected)
+        matched = sum(n for _t, n in collected)
+        rows = [(grand_total if matched else None,)]
+        return HadoopDBQueryResult(rows=rows, stats=stats,
+                                   time=self._time(per_node),
+                                   per_node_stats=per_node)
+
+    def group_by(self, intervals: Dict[str, Interval], group_position: int,
+                 value_position: int) -> HadoopDBQueryResult:
+        def per_chunk(db: LocalDB):
+            rows, stats = db.select(intervals)
+            partial: Dict[Any, float] = {}
+            for row in rows:
+                key = row[group_position]
+                partial[key] = partial.get(key, 0.0) + row[value_position]
+            return list(partial.items()), stats
+
+        collected, stats, per_node = self._push_down(per_chunk)
+        merged: Dict[Any, float] = {}
+        for key, value in collected:
+            merged[key] = merged.get(key, 0.0) + value
+        rows = sorted(merged.items())
+        return HadoopDBQueryResult(rows=rows, stats=stats,
+                                   time=self._time(per_node),
+                                   per_node_stats=per_node)
+
+    def join(self, intervals: Dict[str, Interval], key_position: int,
+             project: Callable[[Tuple, Tuple], Tuple]
+             ) -> HadoopDBQueryResult:
+        """Fact-side selection joined against the node-local archive copy."""
+        results: List[Tuple] = []
+        per_node: List[ChunkQueryStats] = []
+        total = ChunkQueryStats()
+        for node, chunk_dbs in enumerate(self._chunks):
+            node_stats = ChunkQueryStats()
+            archive = self._archive[node]
+            for db in chunk_dbs:
+                rows, stats = db.select(intervals)
+                node_stats.merge(stats)
+                for row in rows:
+                    for build_row in archive.get(row[key_position], ()):
+                        results.append(project(row, build_row))
+            per_node.append(node_stats)
+            total.merge(node_stats)
+        return HadoopDBQueryResult(rows=results, stats=total,
+                                   time=self._time(per_node),
+                                   per_node_stats=per_node)
+
+    # -------------------------------------------------------------- plumbing
+    def _push_down(self, per_chunk):
+        if not self._loaded:
+            raise HadoopDBError("load() data before querying")
+        collected: List[Tuple] = []
+        per_node: List[ChunkQueryStats] = []
+        total = ChunkQueryStats()
+        for chunk_dbs in self._chunks:
+            node_stats = ChunkQueryStats()
+            for db in chunk_dbs:
+                rows, stats = per_chunk(db)
+                collected.extend(rows)
+                node_stats.merge(stats)
+            per_node.append(node_stats)
+            total.merge(node_stats)
+        return collected, total, per_node
+
+    def _time(self, per_node: List[ChunkQueryStats]) -> TimeBreakdown:
+        """Paper-scale node time from measured selectivity *fractions*.
+
+        Measured row counts cannot be scaled linearly (page granularity does
+        not survive a x100000 rescale), so per node we take the matched and
+        examined fractions and evaluate the access path at paper volume:
+
+        * seq scan -> all heap pages stream through the shared disk;
+        * index/bitmap scan -> expected touched pages follow the classic
+          Yao formula ``P * (1 - (1 - f)^(rows_per_page/cluster))``;
+        * CPU charges the examined fraction per core.
+
+        The slowest node bounds the query (the collect job waits for all).
+        """
+        cfg = self.config
+        slowest = 0.0
+        overhead = (cfg.paper_chunks_per_node * cfg.chunk_overhead_seconds
+                    / cfg.cores_per_node)
+        for stats in per_node:
+            if stats.rows_total == 0:
+                continue
+            node_rows = stats.rows_total * self.data_scale
+            node_pages = node_rows / cfg.rows_per_page
+            matched_fraction = stats.rows_matched / stats.rows_total
+            examined_fraction = stats.rows_examined / stats.rows_total
+            if stats.seq_scan:
+                pages = node_pages
+            else:
+                exponent = max(1.0, cfg.rows_per_page
+                               / cfg.heap_cluster_factor)
+                pages = node_pages * (
+                    1.0 - (1.0 - matched_fraction) ** exponent)
+            io_seconds = pages * PAGE_BYTES / cfg.page_read_bandwidth
+            cpu_seconds = (examined_fraction * node_rows
+                           * cfg.cpu_seconds_per_row / cfg.cores_per_node)
+            slowest = max(slowest, io_seconds + cpu_seconds + overhead)
+        return TimeBreakdown(
+            read_index_and_other=cfg.collect_launch_seconds,
+            read_data_and_process=slowest)

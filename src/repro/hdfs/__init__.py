@@ -1,0 +1,29 @@
+"""Simulated HDFS: NameNode namespace, DataNode block storage, byte-accurate
+I/O accounting.
+
+The simulator reproduces the properties of HDFS that the paper's results
+depend on:
+
+* files are write-once append-only sequences of fixed-size blocks,
+* reads are byte-addressed (``pread``) and accounted per DataNode,
+* the NameNode keeps all namespace metadata in memory (150 bytes per
+  directory/file/block object, the figure the paper cites for the partition
+  explosion argument),
+* input splits are derived from block boundaries.
+"""
+
+from repro.hdfs.metrics import IOStats
+from repro.hdfs.namenode import NameNode, INode
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.filesystem import HDFS, FileStatus, HDFSWriter, HDFSReader
+
+__all__ = [
+    "IOStats",
+    "NameNode",
+    "INode",
+    "DataNode",
+    "HDFS",
+    "FileStatus",
+    "HDFSWriter",
+    "HDFSReader",
+]

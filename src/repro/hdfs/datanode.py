@@ -1,0 +1,42 @@
+"""DataNode: holds block replica bytes and accounts its own I/O."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import HDFSError
+from repro.hdfs.metrics import IOStats
+
+
+class DataNode:
+    """One worker's disk.  Stores block replicas as immutable ``bytes``."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._blocks: Dict[int, bytes] = {}
+        self.io = IOStats()
+
+    def store(self, block_id: int, data: bytes) -> None:
+        self._blocks[block_id] = bytes(data)
+        self.io.record_write(len(data))
+
+    def read(self, block_id: int, offset: int, length: int,
+             seek: bool = False) -> bytes:
+        try:
+            data = self._blocks[block_id]
+        except KeyError:
+            raise HDFSError(
+                f"datanode {self.node_id} has no replica of block {block_id}")
+        chunk = data[offset:offset + length]
+        self.io.record_read(len(chunk), seek=seek)
+        return chunk
+
+    def drop(self, block_id: int) -> None:
+        self._blocks.pop(block_id, None)
+
+    def has_block(self, block_id: int) -> bool:
+        return block_id in self._blocks
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self._blocks.values())

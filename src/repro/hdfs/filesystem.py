@@ -1,0 +1,229 @@
+"""The HDFS facade: create/open/list/delete plus writer and reader streams.
+
+Blocks default to 4 MiB — a documented 1:16 scale-down of the paper's 64 MB
+HDFS blocks, so that the scaled-down datasets still produce multiple input
+splits per file.  Replication defaults to 2, the paper's setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.units import MiB
+from repro.errors import FileNotFoundInHDFS, HDFSError, IsADirectory
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.metrics import IOStats
+from repro.hdfs.namenode import BlockInfo, INode, NameNode
+
+DEFAULT_BLOCK_SIZE = 4 * MiB
+DEFAULT_REPLICATION = 2
+
+
+@dataclass
+class FileStatus:
+    """Result of :meth:`HDFS.status`: path, length and block layout."""
+
+    path: str
+    length: int
+    is_dir: bool
+    block_size: int
+    blocks: List[BlockInfo]
+
+
+class HDFSWriter:
+    """Append-only output stream; flushes full blocks to DataNodes."""
+
+    def __init__(self, fs: "HDFS", node: INode, path: str):
+        self._fs = fs
+        self._node = node
+        self.path = path
+        self._buffer = bytearray()
+        self._closed = False
+        self._written = 0
+
+    @property
+    def pos(self) -> int:
+        """Current byte offset in the file (bytes written so far)."""
+        return self._written
+
+    def write(self, data: bytes) -> int:
+        if self._closed:
+            raise HDFSError(f"write to closed file {self.path!r}")
+        self._buffer.extend(data)
+        self._written += len(data)
+        block_size = self._fs.block_size
+        while len(self._buffer) >= block_size:
+            self._fs._flush_block(self._node, bytes(self._buffer[:block_size]))
+            del self._buffer[:block_size]
+        return len(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._buffer:
+            self._fs._flush_block(self._node, bytes(self._buffer))
+            self._buffer.clear()
+        self._closed = True
+
+    def __enter__(self) -> "HDFSWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class HDFSReader:
+    """Byte-addressed read stream over a file's blocks."""
+
+    def __init__(self, fs: "HDFS", node: INode, path: str):
+        self._fs = fs
+        self._node = node
+        self.path = path
+        self._pos = 0
+        self._last_end = 0  # used to detect seeks for accounting
+
+    @property
+    def length(self) -> int:
+        return self._node.length
+
+    def seek(self, offset: int) -> None:
+        if offset < 0:
+            raise HDFSError(f"negative seek offset {offset}")
+        self._pos = offset
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, length: int = -1) -> bytes:
+        if length < 0:
+            length = self.length - self._pos
+        data = self.pread(self._pos, length)
+        self._pos += len(data)
+        return data
+
+    def pread(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` without moving the cursor."""
+        if length <= 0 or offset >= self._node.length:
+            return b""
+        is_seek = offset != self._last_end
+        out = bytearray()
+        block_start = 0
+        remaining = min(length, self._node.length - offset)
+        for block in self._node.blocks:
+            block_end = block_start + block.length
+            if block_end > offset and remaining > 0:
+                local_off = max(0, offset - block_start)
+                take = min(block.length - local_off, remaining)
+                out.extend(self._fs._read_block(block, local_off, take,
+                                                seek=is_seek))
+                is_seek = False
+                remaining -= take
+                offset += take
+            block_start = block_end
+            if remaining <= 0:
+                break
+        self._last_end = offset
+        return bytes(out)
+
+    def __enter__(self) -> "HDFSReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class HDFS:
+    """The simulated distributed filesystem."""
+
+    def __init__(self, num_datanodes: int = 4,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 replication: int = DEFAULT_REPLICATION):
+        if num_datanodes < 1:
+            raise HDFSError("need at least one datanode")
+        self.block_size = int(block_size)
+        self.replication = min(int(replication), num_datanodes)
+        self.namenode = NameNode()
+        self.datanodes = [DataNode(i) for i in range(num_datanodes)]
+        self.io = IOStats()
+        self._placement_cursor = 0
+
+    # ------------------------------------------------------------- namespace
+    def mkdirs(self, path: str) -> None:
+        self.namenode.mkdirs(path)
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def list_dir(self, path: str) -> List[str]:
+        return self.namenode.list_dir(path)
+
+    def list_files(self, path: str) -> List[str]:
+        """All file paths under ``path``, recursively, in sorted order."""
+        return list(self.namenode.walk_files(path))
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        freed = self.namenode.delete(path, recursive=recursive)
+        for block in freed:
+            for node_id in block.datanodes:
+                self.datanodes[node_id].drop(block.block_id)
+
+    def status(self, path: str) -> FileStatus:
+        node = self.namenode.get(path)
+        return FileStatus(path=path, length=node.length, is_dir=node.is_dir,
+                          block_size=self.block_size,
+                          blocks=list(node.blocks))
+
+    def file_length(self, path: str) -> int:
+        return self.namenode.get(path).length
+
+    def total_size(self, path: str) -> int:
+        """Total bytes of all files under ``path``."""
+        return sum(self.file_length(p) for p in self.list_files(path))
+
+    # ----------------------------------------------------------------- files
+    def create(self, path: str, overwrite: bool = False) -> HDFSWriter:
+        node = self.namenode.create_file(path, overwrite=overwrite)
+        return HDFSWriter(self, node, path)
+
+    def open(self, path: str) -> HDFSReader:
+        node = self.namenode.get(path)
+        if node.is_dir:
+            raise IsADirectory(path)
+        return HDFSReader(self, node, path)
+
+    def write_bytes(self, path: str, data: bytes,
+                    overwrite: bool = False) -> None:
+        with self.create(path, overwrite=overwrite) as writer:
+            writer.write(data)
+
+    def read_bytes(self, path: str) -> bytes:
+        with self.open(path) as reader:
+            return reader.read()
+
+    # ---------------------------------------------------------------- blocks
+    def _pick_datanodes(self) -> List[int]:
+        n = len(self.datanodes)
+        picked = [(self._placement_cursor + i) % n
+                  for i in range(self.replication)]
+        self._placement_cursor = (self._placement_cursor + 1) % n
+        return picked
+
+    def _flush_block(self, node: INode, data: bytes) -> None:
+        locations = self._pick_datanodes()
+        block = self.namenode.allocate_block(node, len(data), locations)
+        for node_id in locations:
+            self.datanodes[node_id].store(block.block_id, data)
+        # Global accounting counts the logical write once (not per replica);
+        # replica traffic is modelled by the cost model's replication factor.
+        self.io.record_write(len(data))
+
+    def _read_block(self, block: BlockInfo, offset: int, length: int,
+                    seek: bool) -> bytes:
+        if not block.datanodes:
+            raise FileNotFoundInHDFS(f"block {block.block_id} has no replicas")
+        # Read from the first replica (locality is handled by the cost model).
+        data = self.datanodes[block.datanodes[0]].read(
+            block.block_id, offset, length, seek=seek)
+        self.io.record_read(len(data), seek=seek)
+        return data

@@ -1,0 +1,61 @@
+"""I/O accounting shared by the filesystem, MapReduce engine and cost model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Running totals of I/O operations.
+
+    Instances form a tree: each :class:`~repro.hdfs.datanode.DataNode` owns
+    one, and the filesystem owns a global one; updates go to both.  The cost
+    model reads the global instance after a job to convert byte counts into
+    simulated seconds.
+    """
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    seeks: int = 0
+
+    def record_read(self, nbytes: int, seek: bool = False) -> None:
+        self.bytes_read += int(nbytes)
+        self.read_ops += 1
+        if seek:
+            self.seeks += 1
+
+    def record_write(self, nbytes: int) -> None:
+        self.bytes_written += int(nbytes)
+        self.write_ops += 1
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy of the current counters."""
+        return IOStats(self.bytes_read, self.bytes_written,
+                       self.read_ops, self.write_ops, self.seeks)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Counters accumulated since ``earlier`` (an older snapshot)."""
+        return IOStats(
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
+            self.read_ops - earlier.read_ops,
+            self.write_ops - earlier.write_ops,
+            self.seeks - earlier.seeks,
+        )
+
+    def merge(self, other: "IOStats") -> None:
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.read_ops += other.read_ops
+        self.write_ops += other.write_ops
+        self.seeks += other.seeks
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_ops = 0
+        self.write_ops = 0
+        self.seeks = 0

@@ -1,0 +1,197 @@
+"""NameNode: the namespace tree and block metadata of the simulated HDFS.
+
+The NameNode stores directories, files and the block list of every file.  As
+in real HDFS all of this metadata lives in the (Name)node's memory; the paper
+uses the rule of thumb of 150 bytes per namespace object to argue that
+multi-dimensional Hive partitioning overloads the NameNode.  We model that
+rule exactly so the partition-explosion experiment is quantitative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import (
+    FileAlreadyExists,
+    FileNotFoundInHDFS,
+    IsADirectory,
+    NotADirectory,
+)
+
+#: Memory charged per directory, file, or block object (bytes).  The paper
+#: cites this figure from the Cloudera small-files article.
+METADATA_BYTES_PER_OBJECT = 150
+
+
+@dataclass
+class BlockInfo:
+    """Metadata of one block: its id, length, and replica locations."""
+
+    block_id: int
+    length: int
+    datanodes: List[int] = field(default_factory=list)
+
+
+@dataclass
+class INode:
+    """A namespace entry: directory or file."""
+
+    name: str
+    is_dir: bool
+    children: Dict[str, "INode"] = field(default_factory=dict)
+    blocks: List[BlockInfo] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Total byte length of a file (0 for directories)."""
+        return sum(b.length for b in self.blocks)
+
+
+def _normalize(path: str) -> List[str]:
+    if not path.startswith("/"):
+        raise FileNotFoundInHDFS(f"paths must be absolute, got {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+class NameNode:
+    """In-memory namespace tree plus block allocation."""
+
+    def __init__(self):
+        self._root = INode(name="/", is_dir=True)
+        self._next_block_id = 0
+        self._num_dirs = 1
+        self._num_files = 0
+        self._num_blocks = 0
+
+    # ------------------------------------------------------------------ paths
+    def _lookup(self, path: str) -> Optional[INode]:
+        node = self._root
+        for part in _normalize(path):
+            if not node.is_dir:
+                raise NotADirectory(f"{part!r} under non-directory in {path!r}")
+            node = node.children.get(part)
+            if node is None:
+                return None
+        return node
+
+    def exists(self, path: str) -> bool:
+        return self._lookup(path) is not None
+
+    def get(self, path: str) -> INode:
+        node = self._lookup(path)
+        if node is None:
+            raise FileNotFoundInHDFS(path)
+        return node
+
+    def mkdirs(self, path: str) -> INode:
+        """Create a directory and any missing parents (like ``mkdir -p``)."""
+        node = self._root
+        for part in _normalize(path):
+            child = node.children.get(part)
+            if child is None:
+                child = INode(name=part, is_dir=True)
+                node.children[part] = child
+                self._num_dirs += 1
+            elif not child.is_dir:
+                raise NotADirectory(f"{path!r}: {part!r} is a file")
+            node = child
+        return node
+
+    def create_file(self, path: str, overwrite: bool = False) -> INode:
+        parts = _normalize(path)
+        if not parts:
+            raise IsADirectory("/")
+        parent = self.mkdirs("/" + "/".join(parts[:-1])) if parts[:-1] \
+            else self._root
+        name = parts[-1]
+        existing = parent.children.get(name)
+        if existing is not None:
+            if existing.is_dir:
+                raise IsADirectory(path)
+            if not overwrite:
+                raise FileAlreadyExists(path)
+            self._num_blocks -= len(existing.blocks)
+            self._num_files -= 1
+        node = INode(name=name, is_dir=False)
+        parent.children[name] = node
+        self._num_files += 1
+        return node
+
+    def delete(self, path: str, recursive: bool = False) -> List[BlockInfo]:
+        """Remove ``path``; return the blocks freed so DataNodes can drop them."""
+        parts = _normalize(path)
+        if not parts:
+            raise IsADirectory("cannot delete the root directory")
+        parent = self.get("/" + "/".join(parts[:-1])) if parts[:-1] \
+            else self._root
+        node = parent.children.get(parts[-1])
+        if node is None:
+            raise FileNotFoundInHDFS(path)
+        if node.is_dir and node.children and not recursive:
+            raise NotADirectory(f"{path!r} is a non-empty directory")
+        freed: List[BlockInfo] = []
+        self._collect_freed(node, freed)
+        del parent.children[parts[-1]]
+        return freed
+
+    def _collect_freed(self, node: INode, freed: List[BlockInfo]) -> None:
+        if node.is_dir:
+            self._num_dirs -= 1
+            for child in list(node.children.values()):
+                self._collect_freed(child, freed)
+        else:
+            self._num_files -= 1
+            self._num_blocks -= len(node.blocks)
+            freed.extend(node.blocks)
+
+    def list_dir(self, path: str) -> List[str]:
+        node = self.get(path)
+        if not node.is_dir:
+            raise NotADirectory(path)
+        return sorted(node.children)
+
+    def walk_files(self, path: str) -> Iterator[str]:
+        """Yield full paths of all files under ``path`` (depth-first, sorted)."""
+        node = self.get(path)
+        base = "/" + "/".join(_normalize(path))
+        if base == "/":
+            base = ""
+        if not node.is_dir:
+            yield base or "/"
+            return
+        for name in sorted(node.children):
+            child = node.children[name]
+            child_path = f"{base}/{name}"
+            if child.is_dir:
+                yield from self.walk_files(child_path)
+            else:
+                yield child_path
+
+    # ----------------------------------------------------------------- blocks
+    def allocate_block(self, file_node: INode, length: int,
+                       datanodes: List[int]) -> BlockInfo:
+        block = BlockInfo(block_id=self._next_block_id, length=length,
+                          datanodes=list(datanodes))
+        self._next_block_id += 1
+        file_node.blocks.append(block)
+        self._num_blocks += 1
+        return block
+
+    # ----------------------------------------------------------------- memory
+    @property
+    def num_dirs(self) -> int:
+        return self._num_dirs
+
+    @property
+    def num_files(self) -> int:
+        return self._num_files
+
+    @property
+    def num_blocks(self) -> int:
+        return self._num_blocks
+
+    def metadata_memory_bytes(self) -> int:
+        """NameNode heap charged for namespace metadata (paper's 150 B rule)."""
+        objects = self._num_dirs + self._num_files + self._num_blocks
+        return objects * METADATA_BYTES_PER_OBJECT

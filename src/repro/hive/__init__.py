@@ -1,0 +1,19 @@
+"""Hive layer: metastore, query execution on MapReduce, index handler API.
+
+:class:`~repro.hive.session.HiveSession` is the main entry point: it owns an
+HDFS instance, a MapReduce engine, a key-value store and a metastore, and
+executes HiveQL statements, transparently routing MDRQ predicates through
+whatever index exists on the table (the paper's behaviour).
+"""
+
+from repro.hive.metastore import Metastore, TableInfo, IndexInfo
+from repro.hive.session import HiveSession, QueryOptions, QueryResult
+
+__all__ = [
+    "Metastore",
+    "TableInfo",
+    "IndexInfo",
+    "HiveSession",
+    "QueryOptions",
+    "QueryResult",
+]

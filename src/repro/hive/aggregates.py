@@ -1,0 +1,231 @@
+"""Aggregate function framework.
+
+Each function is an object with Hadoop-combiner-friendly semantics:
+``initial() -> state``, ``accumulate(state, value) -> state``,
+``merge(state, state) -> state``, ``finalize(state) -> value``.
+
+``merge`` must be associative and commutative — the *additive* property the
+paper requires of functions pre-computed into DGFIndex headers.  ``avg`` is
+not additive by itself; it is computed as an additive (sum, count) pair and
+divided at finalize, and DGFIndex derives it from pre-computed ``sum`` and
+``count`` headers the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import SemanticError
+from repro.hiveql import ast
+
+
+class AggFunction:
+    """Base class; subclasses define the four-phase protocol."""
+
+    name = "?"
+    #: additive functions may be pre-computed into DGFIndex headers
+    additive = True
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        raise NotImplementedError
+
+    def merge(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+    def finalize(self, state: Any) -> Any:
+        return state
+
+
+class SumAgg(AggFunction):
+    name = "sum"
+
+    def initial(self):
+        return None
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        return value if state is None else state + value
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left + right
+
+
+class CountAgg(AggFunction):
+    """count(*) and count(col); the value is None-filtered by the caller
+    for count(col)."""
+
+    name = "count"
+
+    def initial(self):
+        return 0
+
+    def accumulate(self, state, value):
+        return state + 1
+
+    def merge(self, left, right):
+        return left + right
+
+
+class MinAgg(AggFunction):
+    name = "min"
+
+    def initial(self):
+        return None
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        return value if state is None or value < state else state
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right)
+
+
+class MaxAgg(AggFunction):
+    name = "max"
+
+    def initial(self):
+        return None
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        return value if state is None or value > state else state
+
+    def merge(self, left, right):
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return max(left, right)
+
+
+class AvgAgg(AggFunction):
+    """Average as an additive (sum, count) pair."""
+
+    name = "avg"
+
+    def initial(self):
+        return (0.0, 0)
+
+    def accumulate(self, state, value):
+        if value is None:
+            return state
+        total, count = state
+        return (total + value, count + 1)
+
+    def merge(self, left, right):
+        return (left[0] + right[0], left[1] + right[1])
+
+    def finalize(self, state):
+        total, count = state
+        if count == 0:
+            return None
+        return total / count
+
+
+class CountDistinctAgg(AggFunction):
+    """count(DISTINCT col): the state is the set of seen values.
+
+    Set union is associative/commutative so the combiner still applies, but
+    the state size grows with cardinality — not suitable for DGF headers.
+    """
+
+    name = "count_distinct"
+    additive = False
+
+    def initial(self):
+        return set()
+
+    def accumulate(self, state, value):
+        if value is not None:
+            state = set(state) if not isinstance(state, set) else state
+            state.add(value)
+        return state
+
+    def merge(self, left, right):
+        return set(left) | set(right)
+
+    def finalize(self, state):
+        return len(state)
+
+
+_FUNCTIONS = {
+    "sum": SumAgg,
+    "count": CountAgg,
+    "min": MinAgg,
+    "max": MaxAgg,
+    "avg": AvgAgg,
+}
+
+
+def resolve_aggregate(call: ast.FuncCall) -> AggFunction:
+    """Map a parsed aggregate call to its implementation."""
+    if call.name == "count" and call.distinct:
+        return CountDistinctAgg()
+    cls = _FUNCTIONS.get(call.name)
+    if cls is None:
+        raise SemanticError(f"unknown aggregate function {call.name!r}")
+    if len(call.args) != 1:
+        raise SemanticError(f"{call.name}() takes exactly one argument")
+    return cls()
+
+
+def canonical_key(call: ast.FuncCall) -> str:
+    """Canonical text for matching query aggregates against pre-computed
+    DGFIndex headers, e.g. ``sum(powerconsumed)`` or ``count(*)``."""
+    inner = ",".join(a.render() for a in call.args)
+    prefix = "count_distinct" if (call.name == "count" and call.distinct) \
+        else call.name
+    return f"{prefix}({inner})".lower().replace(" ", "")
+
+
+class CompiledAggregate:
+    """An aggregate call bound to a compiled argument expression."""
+
+    def __init__(self, call: ast.FuncCall, arg_fn: Optional[Callable],
+                 function: AggFunction, count_star: bool):
+        self.call = call
+        self.arg_fn = arg_fn            # None for count(*)
+        self.function = function
+        self.count_star = count_star
+        self.key = canonical_key(call)
+
+    @classmethod
+    def compile(cls, call: ast.FuncCall, resolver) -> "CompiledAggregate":
+        from repro.hiveql.evaluator import compile_expr
+        function = resolve_aggregate(call)
+        count_star = (call.name == "count" and len(call.args) == 1
+                      and isinstance(call.args[0], ast.Star))
+        arg_fn = None
+        if not count_star:
+            if len(call.args) != 1:
+                raise SemanticError(f"{call.name}() takes one argument")
+            arg_fn = compile_expr(call.args[0], resolver)
+        return cls(call, arg_fn, function, count_star)
+
+    def accumulate_row(self, state: Any, row) -> Any:
+        if self.count_star:
+            return self.function.accumulate(state, 1)
+        value = self.arg_fn(row)
+        if value is None and not isinstance(self.function, CountDistinctAgg):
+            if isinstance(self.function, CountAgg):
+                return state  # count(col) skips NULLs
+            return self.function.accumulate(state, value)
+        if value is None:
+            return state
+        if isinstance(self.function, CountAgg):
+            return self.function.accumulate(state, 1)
+        return self.function.accumulate(state, value)

@@ -1,0 +1,129 @@
+"""Index handler plug-in API (Hive's index interface, as the paper uses it).
+
+A handler can do two things:
+
+* ``build`` — populate the index for a table (usually a MapReduce job);
+* ``plan_access`` — given a query's extracted ranges, either return an
+  :class:`IndexAccessPlan` that shrinks the work of the main job, or ``None``
+  to decline (Hive then falls back to the next index or a full scan).
+
+The plan carries (a) the filtered split list — Hive's temp-file protocol
+between index handler and ``getSplits`` — (b) an optional replacement input
+format (DGFIndex's slice-skipping record reader), (c) optional pre-computed
+aggregate states for the covered inner region (DGFIndex's header path), and
+(d) the simulated cost of reading the index itself, which the session adds
+to the query's "read index and other" time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import IndexError_
+from repro.hive.metastore import IndexInfo, TableInfo
+from repro.hiveql.predicates import RangeExtraction
+from repro.mapreduce.cost import JobStats, TimeBreakdown
+from repro.mapreduce.splits import FileSplit, InputFormat
+
+
+@dataclass
+class QueryIndexContext:
+    """What a handler may inspect when planning index access."""
+
+    ranges: RangeExtraction
+    #: canonical keys of the aggregates the query computes (empty when the
+    #: query is not a plain aggregation), e.g. ["sum(powerconsumed)"]
+    agg_keys: List[str] = field(default_factory=list)
+    #: True when every select item is an aggregate and there is no GROUP BY
+    is_plain_aggregation: bool = False
+    #: Figure 17 ablation: disable the header path while keeping the index
+    use_precompute: bool = True
+    #: columns the query touches (for RCFile column pruning)
+    referenced_columns: List[str] = field(default_factory=list)
+    #: lower-case column names of GROUP BY expressions when every group
+    #: expression is a plain column reference; None otherwise.  The
+    #: Aggregate Index needs this for its GROUP BY rewrite.
+    group_columns: Optional[List[str]] = None
+
+
+@dataclass
+class IndexAccessPlan:
+    """A handler's answer: how the main job should read the table."""
+
+    description: str
+    splits: List[FileSplit]
+    input_format: Optional[InputFormat] = None
+    index_time: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: canonical agg key -> merged pre-computed state over all *inner* GFUs
+    #: (only the DGF header path sets this; None means "no rewrite")
+    header_states: Optional[Dict[str, Any]] = None
+    #: full GROUP BY rewrite: group key -> aggregate state tuple, in the
+    #: query's aggregate order (the Aggregate Index's index-as-data path);
+    #: when set, the main job is skipped entirely.
+    rewrite_grouped: Optional[Dict[Any, tuple]] = None
+    #: measured index-access facts, reported alongside modelled time
+    index_records_scanned: int = 0
+    index_kv_gets: int = 0
+
+
+@dataclass
+class BuildReport:
+    """What an index build produced (Table 2 / Table 5 raw material)."""
+
+    index_name: str
+    handler: str
+    index_size_bytes: int
+    build_time: TimeBreakdown
+    job_stats: JobStats = field(default_factory=JobStats)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+
+class IndexHandler(ABC):
+    """Base class for index implementations."""
+
+    #: registry key, e.g. "compact"
+    handler_name: str = "?"
+
+    @abstractmethod
+    def build(self, session, index: IndexInfo) -> BuildReport:
+        """Populate the index; must set ``index.built = True`` on success."""
+
+    @abstractmethod
+    def plan_access(self, session, table: TableInfo, index: IndexInfo,
+                    ctx: QueryIndexContext) -> Optional[IndexAccessPlan]:
+        """Return an access plan, or None if this index cannot help."""
+
+    def drop(self, session, index: IndexInfo) -> None:
+        """Release index storage; default is a no-op."""
+
+
+_HANDLER_ALIASES = {
+    "dgf": "dgf",
+    "dgfindexhandler": "dgf",
+    "compact": "compact",
+    "compactindexhandler": "compact",
+    "aggregate": "aggregate",
+    "aggindexhandler": "aggregate",
+    "aggregateindexhandler": "aggregate",
+    "bitmap": "bitmap",
+    "bitmapindexhandler": "bitmap",
+}
+
+
+def resolve_handler_name(handler_string: str) -> str:
+    """Map a ``CREATE INDEX ... AS '<class>'`` string to a registry name.
+
+    Accepts both short names (``'dgf'``) and Hive-style class names
+    (``'org.apache.hadoop.hive.ql.index.dgf.DgfIndexHandler'``).
+    """
+    lowered = handler_string.lower()
+    tail = lowered.rsplit(".", 1)[-1]
+    if tail in _HANDLER_ALIASES:
+        return _HANDLER_ALIASES[tail]
+    for key, name in _HANDLER_ALIASES.items():
+        if key in lowered:
+            return name
+    raise IndexError_(f"unknown index handler {handler_string!r}; "
+                      f"known: dgf, compact, aggregate, bitmap")

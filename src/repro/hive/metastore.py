@@ -1,0 +1,157 @@
+"""The metastore: tables, partitions and index descriptors.
+
+Tables live under a warehouse directory (``/warehouse/<table>``); a
+partitioned table has one subdirectory per partition value
+(``<location>/<col>=<value>``), exactly Hive's layout — which is what makes
+the NameNode-memory partition-explosion experiment meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import MetastoreError
+from repro.storage.schema import DataType, Schema
+
+WAREHOUSE_ROOT = "/warehouse"
+
+_TYPE_NAMES = {
+    "int": DataType.INT,
+    "bigint": DataType.BIGINT,
+    "double": DataType.DOUBLE,
+    "float": DataType.DOUBLE,
+    "string": DataType.STRING,
+    "date": DataType.DATE,
+}
+
+
+def parse_type(name: str) -> DataType:
+    try:
+        return _TYPE_NAMES[name.lower()]
+    except KeyError:
+        raise MetastoreError(f"unsupported column type {name!r}") from None
+
+
+@dataclass
+class TableInfo:
+    """Metadata of one table."""
+
+    name: str
+    schema: Schema
+    stored_as: str = "TEXTFILE"
+    location: str = ""
+    partition_schema: Optional[Schema] = None
+    #: partition value tuple -> directory path
+    partitions: Dict[Tuple, str] = field(default_factory=dict)
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.location:
+            self.location = f"{WAREHOUSE_ROOT}/{self.name.lower()}"
+
+    @property
+    def is_partitioned(self) -> bool:
+        return self.partition_schema is not None
+
+    def partition_dir(self, values: Tuple) -> str:
+        """Hive-style partition directory for a value tuple."""
+        if not self.is_partitioned:
+            raise MetastoreError(f"table {self.name!r} is not partitioned")
+        if len(values) != len(self.partition_schema.columns):
+            raise MetastoreError(
+                f"expected {len(self.partition_schema.columns)} partition "
+                f"values, got {len(values)}")
+        parts = [f"{col.name}={value}" for col, value in
+                 zip(self.partition_schema.columns, values)]
+        return self.location + "/" + "/".join(parts)
+
+    @property
+    def data_location(self) -> str:
+        """Where query scans read from.  DGFIndex construction reorganizes
+        the table into a new directory and records it here."""
+        return self.properties.get("dgf_data_location", self.location)
+
+
+@dataclass
+class IndexInfo:
+    """Metadata of one index (any handler type)."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    handler: str  # registry name: "compact" | "aggregate" | "bitmap" | "dgf"
+    properties: Dict[str, str] = field(default_factory=dict)
+    #: handler-private state (index table path, policy JSON, KV table name...)
+    state: Dict[str, Any] = field(default_factory=dict)
+    built: bool = False
+
+
+class Metastore:
+    """Name -> metadata maps with validation."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableInfo] = {}
+        self._indexes: Dict[str, IndexInfo] = {}  # key: table.index
+
+    # ---------------------------------------------------------------- tables
+    def create_table(self, info: TableInfo) -> None:
+        key = info.name.lower()
+        if key in self._tables:
+            raise MetastoreError(f"table {info.name!r} already exists")
+        self._tables[key] = info
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def get_table(self, name: str) -> TableInfo:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise MetastoreError(f"unknown table {name!r}") from None
+
+    def drop_table(self, name: str) -> TableInfo:
+        info = self.get_table(name)
+        del self._tables[name.lower()]
+        for key in [k for k, v in self._indexes.items()
+                    if v.table.lower() == name.lower()]:
+            del self._indexes[key]
+        return info
+
+    def list_tables(self) -> List[str]:
+        return sorted(t.name for t in self._tables.values())
+
+    # --------------------------------------------------------------- indexes
+    def add_index(self, info: IndexInfo) -> None:
+        self.get_table(info.table)  # validates the table exists
+        key = f"{info.table.lower()}.{info.name.lower()}"
+        if key in self._indexes:
+            raise MetastoreError(
+                f"index {info.name!r} on {info.table!r} already exists")
+        if info.handler == "dgf" and self.indexes_on(info.table, "dgf"):
+            # The paper: each table can only create one DGFIndex, because the
+            # index physically reorganizes the table's data layout.
+            raise MetastoreError(
+                f"table {info.table!r} already has a DGFIndex; "
+                "each table can have at most one")
+        self._indexes[key] = info
+
+    def get_index(self, table: str, name: str) -> IndexInfo:
+        try:
+            return self._indexes[f"{table.lower()}.{name.lower()}"]
+        except KeyError:
+            raise MetastoreError(
+                f"unknown index {name!r} on table {table!r}") from None
+
+    def drop_index(self, table: str, name: str) -> IndexInfo:
+        info = self.get_index(table, name)
+        del self._indexes[f"{table.lower()}.{name.lower()}"]
+        return info
+
+    def indexes_on(self, table: str,
+                   handler: Optional[str] = None) -> List[IndexInfo]:
+        out = [v for v in self._indexes.values()
+               if v.table.lower() == table.lower()]
+        if handler is not None:
+            out = [v for v in out if v.handler == handler]
+        return sorted(out, key=lambda v: v.name)

@@ -1,0 +1,511 @@
+"""HiveSession: the public entry point tying all substrates together.
+
+A session owns a simulated HDFS, a MapReduce engine, a key-value store
+(HBase stand-in for DGFIndex), the metastore, the index-handler registry and
+a cost model.  ``execute()`` accepts HiveQL text and returns a
+:class:`QueryResult` with rows, measured counters and paper-scale simulated
+times.
+
+Typical use::
+
+    session = HiveSession()
+    session.execute("CREATE TABLE meterdata (userid bigint, ...)")
+    session.load_rows("meterdata", rows)
+    session.execute(
+        "CREATE INDEX idx ON TABLE meterdata(userid, regionid, ts) "
+        "AS 'dgf' IDXPROPERTIES ('userid'='0_200', 'regionid'='0_1', "
+        "'ts'='2012-12-01_1d', 'precompute'='sum(powerconsumed)')")
+    result = session.execute("SELECT sum(powerconsumed) FROM meterdata "
+                             "WHERE userid >= 100 AND userid < 2000")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, MetastoreError, SemanticError
+from repro.hdfs.filesystem import HDFS
+from repro.hive import exec as hexec
+from repro.hive import formats
+from repro.hive.aggregates import canonical_key
+from repro.hive.indexhandler import (BuildReport, IndexAccessPlan,
+                                     IndexHandler, QueryIndexContext,
+                                     resolve_handler_name)
+from repro.hive.metastore import (IndexInfo, Metastore, TableInfo, parse_type)
+from repro.hiveql import ast, parse
+from repro.hiveql.predicates import extract_ranges
+from repro.kvstore.hbase import KVStore
+from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
+from repro.mapreduce.cost import CostModel, JobStats, TimeBreakdown
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.splits import FileSplit
+from repro.storage.schema import Column, Schema
+from repro.storage.textfile import serialize_row
+
+
+@dataclass
+class QueryOptions:
+    """Per-query knobs (all default to the paper's transparent behaviour)."""
+
+    use_index: bool = True
+    #: force one specific index by name (None = automatic selection)
+    index_name: Optional[str] = None
+    #: Figure 17 ablation: keep DGFIndex but disable its header path
+    dgf_use_precompute: bool = True
+    #: reducers used for GROUP BY jobs
+    group_reducers: int = 8
+
+
+@dataclass
+class QueryStats:
+    """Measured + modelled facts about one executed query."""
+
+    jobs: int = 0
+    splits_processed: int = 0
+    records_read: int = 0          # base-table records fed to mappers
+    bytes_read: int = 0
+    records_matched: int = 0       # rows that satisfied the full predicate
+    output_records: int = 0
+    index_used: Optional[str] = None
+    index_records_scanned: int = 0
+    index_kv_gets: int = 0
+    time: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.time.total
+
+
+@dataclass
+class QueryResult:
+    columns: List[str]
+    rows: List[Tuple]
+    stats: QueryStats = field(default_factory=QueryStats)
+    description: str = ""
+
+    def scalar(self) -> Any:
+        """The single value of a one-row/one-column result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"scalar() on a {len(self.rows)}-row result")
+        return self.rows[0][0]
+
+
+class HiveSession:
+    """Executes HiveQL over the simulated stack."""
+
+    def __init__(self, fs: Optional[HDFS] = None,
+                 kvstore: Optional[KVStore] = None,
+                 cluster: ClusterConfig = PAPER_CLUSTER,
+                 data_scale: float = 1.0,
+                 num_datanodes: int = 4):
+        self.fs = fs if fs is not None else HDFS(num_datanodes=num_datanodes)
+        self.kvstore = kvstore if kvstore is not None else KVStore()
+        self.cluster = cluster
+        self.cost_model = CostModel(cluster, data_scale=data_scale)
+        self.metastore = Metastore()
+        self.engine = MapReduceEngine(self.fs)
+        self._handlers: Dict[str, IndexHandler] = {}
+        self._load_counters: Dict[str, int] = {}
+        self._register_default_handlers()
+
+    def set_data_scale(self, data_scale: float) -> None:
+        """Rescale the cost model (paper records / loaded records)."""
+        self.cost_model = CostModel(self.cluster, data_scale=data_scale)
+
+    # ----------------------------------------------------------- registration
+    def _register_default_handlers(self) -> None:
+        # Imported here to avoid a circular import at module load time.
+        from repro.indexes.compact import CompactIndexHandler
+        from repro.indexes.aggregate import AggregateIndexHandler
+        from repro.indexes.bitmap import BitmapIndexHandler
+        from repro.core.dgf.handler import DgfIndexHandler
+        for handler in (DgfIndexHandler(), CompactIndexHandler(),
+                        AggregateIndexHandler(), BitmapIndexHandler()):
+            self.register_handler(handler)
+
+    def register_handler(self, handler: IndexHandler) -> None:
+        self._handlers[handler.handler_name] = handler
+
+    def handler(self, name: str) -> IndexHandler:
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise SemanticError(f"no index handler registered as {name!r}")
+
+    # ------------------------------------------------------------------- DDL
+    def execute(self, sql: str,
+                options: Optional[QueryOptions] = None) -> QueryResult:
+        stmt = parse(sql) if isinstance(sql, str) else sql
+        options = options or QueryOptions()
+        if isinstance(stmt, ast.SelectStmt):
+            return self._run_select(stmt, options)
+        if isinstance(stmt, ast.ExplainStmt):
+            return self._explain(stmt.query, options)
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._create_table(stmt)
+        if isinstance(stmt, ast.CreateIndexStmt):
+            return self._create_index(stmt)
+        if isinstance(stmt, ast.DropTableStmt):
+            return self._drop_table(stmt)
+        if isinstance(stmt, ast.DropIndexStmt):
+            return self._drop_index(stmt)
+        if isinstance(stmt, ast.ShowTablesStmt):
+            return QueryResult(columns=["table_name"],
+                               rows=[(t,) for t in
+                                     self.metastore.list_tables()])
+        if isinstance(stmt, ast.ShowIndexesStmt):
+            rows = [(i.name, i.handler, ",".join(i.columns), i.built)
+                    for i in self.metastore.indexes_on(stmt.table)]
+            return QueryResult(
+                columns=["index_name", "handler", "columns", "built"],
+                rows=rows)
+        if isinstance(stmt, ast.DescribeStmt):
+            table = self.metastore.get_table(stmt.table)
+            rows = [(c.name, c.dtype.value) for c in table.schema.columns]
+            return QueryResult(columns=["col_name", "data_type"], rows=rows)
+        raise ExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    def _create_table(self, stmt: ast.CreateTableStmt) -> QueryResult:
+        if stmt.if_not_exists and self.metastore.has_table(stmt.name):
+            return QueryResult(columns=["result"], rows=[("EXISTS",)])
+        columns = [Column(c.name, parse_type(c.type_name))
+                   for c in stmt.columns]
+        partition_schema = None
+        if stmt.partitioned_by:
+            # Partition columns are routing columns; they are also kept in
+            # the row data so scans and filters treat them uniformly (a
+            # documented divergence from Hive, which stores them only in the
+            # directory name).
+            partition_schema = Schema(
+                Column(c.name, parse_type(c.type_name))
+                for c in stmt.partitioned_by)
+            names = {c.name.lower() for c in columns}
+            missing = [c for c in partition_schema.columns
+                       if c.name.lower() not in names]
+            columns.extend(missing)
+        info = TableInfo(name=stmt.name, schema=Schema(columns),
+                         stored_as=stmt.stored_as,
+                         partition_schema=partition_schema)
+        self.metastore.create_table(info)
+        self.fs.mkdirs(info.location)
+        return QueryResult(columns=["result"], rows=[("OK",)])
+
+    def _drop_table(self, stmt: ast.DropTableStmt) -> QueryResult:
+        if stmt.if_exists and not self.metastore.has_table(stmt.name):
+            return QueryResult(columns=["result"], rows=[("SKIPPED",)])
+        for index in self.metastore.indexes_on(stmt.name):
+            self.handler(index.handler).drop(self, index)
+        info = self.metastore.drop_table(stmt.name)
+        if self.fs.exists(info.location):
+            self.fs.delete(info.location, recursive=True)
+        reorganized = info.properties.get("dgf_data_location")
+        if reorganized and self.fs.exists(reorganized):
+            self.fs.delete(reorganized, recursive=True)
+        return QueryResult(columns=["result"], rows=[("OK",)])
+
+    def _create_index(self, stmt: ast.CreateIndexStmt) -> QueryResult:
+        handler_name = resolve_handler_name(stmt.handler)
+        table = self.metastore.get_table(stmt.table)
+        for column in stmt.columns:
+            table.schema.index_of(column)  # validates
+        info = IndexInfo(name=stmt.name, table=stmt.table,
+                         columns=tuple(table.schema.column(c).name
+                                       for c in stmt.columns),
+                         handler=handler_name,
+                         properties=dict(stmt.properties))
+        self.metastore.add_index(info)
+        if stmt.deferred_rebuild:
+            return QueryResult(columns=["result"], rows=[("DEFERRED",)])
+        report = self.handler(handler_name).build(self, info)
+        info.state["build_report"] = report
+        return QueryResult(
+            columns=["result", "index_size_bytes", "build_seconds"],
+            rows=[("OK", report.index_size_bytes, report.build_time.total)])
+
+    def _drop_index(self, stmt: ast.DropIndexStmt) -> QueryResult:
+        info = self.metastore.drop_index(stmt.table, stmt.name)
+        self.handler(info.handler).drop(self, info)
+        return QueryResult(columns=["result"], rows=[("OK",)])
+
+    def rebuild_index(self, table: str, name: str) -> BuildReport:
+        """ALTER INDEX ... REBUILD equivalent (also used after appends)."""
+        info = self.metastore.get_index(table, name)
+        report = self.handler(info.handler).build(self, info)
+        info.state["build_report"] = report
+        return report
+
+    def build_report(self, table: str, name: str) -> BuildReport:
+        info = self.metastore.get_index(table, name)
+        report = info.state.get("build_report")
+        if report is None:
+            raise MetastoreError(f"index {name!r} has not been built")
+        return report
+
+    # ----------------------------------------------------------- data loading
+    def load_rows(self, table_name: str, rows: Iterable[Sequence[Any]],
+                  file_label: Optional[str] = None) -> int:
+        """Append rows to the table (one new file per call, per partition).
+
+        Mirrors the paper's load path: HDFS clients append verified meter
+        data as new files; indexes are *not* implicitly updated (DGFIndex
+        appends go through :meth:`append_with_dgf` instead).
+        """
+        table = self.metastore.get_table(table_name)
+        count = self._load_counters.get(table.name.lower(), 0)
+        self._load_counters[table.name.lower()] = count + 1
+        label = file_label or f"{count:06d}_0"
+        written = 0
+        if not table.is_partitioned:
+            with formats.open_row_writer(
+                    self.fs, f"{table.location}/{label}", table) as writer:
+                for row in rows:
+                    table.schema.validate_row(row)
+                    writer.write_row(row)
+                    written += 1
+            return written
+        # Partitioned: route rows into one file per partition directory.
+        positions = [table.schema.index_of(c.name)
+                     for c in table.partition_schema.columns]
+        buckets: Dict[Tuple, List[Tuple]] = {}
+        for row in rows:
+            table.schema.validate_row(row)
+            key = tuple(row[p] for p in positions)
+            buckets.setdefault(key, []).append(tuple(row))
+        for key, bucket in buckets.items():
+            directory = table.partition_dir(key)
+            table.partitions[key] = directory
+            with formats.open_row_writer(
+                    self.fs, f"{directory}/{label}", table) as writer:
+                writer.write_rows(bucket)
+            written += len(bucket)
+        return written
+
+    # ---------------------------------------------------------------- SELECT
+    def _run_select(self, stmt: ast.SelectStmt,
+                    options: QueryOptions) -> QueryResult:
+        analysis = hexec.analyze(self.metastore, stmt)
+        plan = self._plan_access(analysis, options)
+        stats = QueryStats()
+        time = TimeBreakdown()
+
+        # Join build sides (Hive's local map-join hash-table task).
+        build_stats = hexec.load_join_hash_tables(self.fs, analysis)
+        if analysis.joins:
+            time = time + self.cost_model.job_seconds(build_stats,
+                                                      include_launch=False)
+            stats.records_read += build_stats.map_input_records
+            stats.bytes_read += build_stats.map_input_bytes
+
+        splits, input_format = self._resolve_splits(analysis, plan)
+        header_states = plan.header_states if plan is not None else None
+        rewrite_grouped = plan.rewrite_grouped if plan is not None else None
+        if rewrite_grouped is not None:
+            splits = []
+            header_states = None
+
+        grouped: Dict[Any, Tuple] = {}
+        plain_rows: List[Tuple] = []
+        if rewrite_grouped is not None:
+            grouped = rewrite_grouped
+            time = time + TimeBreakdown(
+                read_index_and_other=self.cluster.job_launch_seconds)
+        elif splits:
+            job = hexec.build_job(analysis, splits, input_format,
+                                  job_name=f"select-{stmt.table.name}",
+                                  num_group_reducers=options.group_reducers)
+            result = self.engine.run(job)
+            stats.jobs += 1
+            stats.splits_processed = len(splits)
+            stats.records_read += result.stats.map_input_records
+            stats.bytes_read += result.stats.map_input_bytes
+            stats.records_matched = result.counters.get("query", "matched")
+            time = time + self.cost_model.job_seconds(result.stats)
+            if analysis.is_group_query:
+                grouped = dict(result.output)
+            else:
+                plain_rows = [value for _key, value in result.output]
+        else:
+            # Fully covered by pre-computed headers (or empty table): Hive
+            # still submits a job shell, so charge one launch.
+            time = time + TimeBreakdown(
+                read_index_and_other=self.cluster.job_launch_seconds)
+
+        if (analysis.is_group_query and not analysis.group_exprs
+                and hexec._GLOBAL_KEY not in grouped):
+            # SQL semantics: global aggregation over zero rows still yields
+            # one row (count 0, sum NULL, ...).
+            grouped[hexec._GLOBAL_KEY] = tuple(
+                agg.function.initial() for agg in analysis.aggregates)
+
+        if header_states is not None:
+            grouped = self._merge_header_states(analysis, grouped,
+                                                header_states)
+
+        if analysis.is_group_query:
+            rows = hexec.finalize_group_output(analysis, grouped)
+        else:
+            rows = plain_rows
+        rows = hexec.apply_order_and_limit(analysis, rows)
+        stats.output_records = len(rows)
+
+        if stmt.insert_directory:
+            time = time + self._write_directory(stmt.insert_directory,
+                                                rows, stats)
+
+        if plan is not None:
+            stats.index_used = plan.description
+            stats.index_records_scanned = plan.index_records_scanned
+            stats.index_kv_gets = plan.index_kv_gets
+            time = time + plan.index_time
+        stats.time = time
+        return QueryResult(columns=list(analysis.output_names), rows=rows,
+                           stats=stats,
+                           description=self._describe(analysis, plan, splits))
+
+    def _merge_header_states(self, analysis: hexec.AnalyzedSelect,
+                             grouped: Dict[Any, Tuple],
+                             header_states: Dict[str, Any]) -> Dict[Any, Tuple]:
+        """Merge DGFIndex inner-region header states with the boundary job's
+        partial states (global aggregation only — no GROUP BY)."""
+        states = []
+        for agg in analysis.aggregates:
+            header = header_states.get(agg.key)
+            boundary = None
+            if hexec._GLOBAL_KEY in grouped:
+                index = analysis.aggregates.index(agg)
+                boundary = grouped[hexec._GLOBAL_KEY][index]
+            if boundary is None:
+                merged = header if header is not None \
+                    else agg.function.initial()
+            elif header is None:
+                merged = boundary
+            else:
+                merged = agg.function.merge(header, boundary)
+            states.append(merged)
+        return {hexec._GLOBAL_KEY: tuple(states)}
+
+    def _plan_access(self, analysis: hexec.AnalyzedSelect,
+                     options: QueryOptions) -> Optional[IndexAccessPlan]:
+        if not options.use_index:
+            return None
+        table = analysis.table
+        indexes = self.metastore.indexes_on(table.name)
+        if options.index_name is not None:
+            indexes = [i for i in indexes
+                       if i.name.lower() == options.index_name.lower()]
+            if not indexes:
+                raise MetastoreError(
+                    f"forced index {options.index_name!r} not found on "
+                    f"{table.name!r}")
+        group_columns: Optional[List[str]] = []
+        for expr in analysis.group_exprs:
+            if isinstance(expr, ast.ColumnRef):
+                group_columns.append(expr.name.lower())
+            else:
+                group_columns = None
+                break
+        ctx = QueryIndexContext(
+            ranges=analysis.ranges,
+            agg_keys=[agg.key for agg in analysis.aggregates],
+            is_plain_aggregation=analysis.stmt.is_plain_aggregation,
+            use_precompute=options.dgf_use_precompute,
+            referenced_columns=analysis.referenced_columns,
+            group_columns=group_columns)
+        priority = {"dgf": 0, "aggregate": 1, "bitmap": 2, "compact": 3}
+        for index in sorted(indexes,
+                            key=lambda i: priority.get(i.handler, 9)):
+            if not index.built:
+                continue
+            plan = self.handler(index.handler).plan_access(
+                self, table, index, ctx)
+            if plan is not None:
+                return plan
+        return None
+
+    def _resolve_splits(self, analysis: hexec.AnalyzedSelect,
+                        plan: Optional[IndexAccessPlan]):
+        table = analysis.table
+        if plan is not None:
+            fmt = plan.input_format
+            if fmt is None:
+                fmt = formats.input_format_for(
+                    table, columns=self._pruned_columns(analysis))
+            return plan.splits, fmt
+        fmt = formats.input_format_for(
+            table, columns=self._pruned_columns(analysis))
+        paths = self._pruned_paths(analysis)
+        return fmt.get_splits(self.fs, paths), fmt
+
+    def _pruned_columns(self, analysis: hexec.AnalyzedSelect):
+        if analysis.table.stored_as.upper() == formats.RCFILE:
+            return analysis.referenced_columns
+        return None
+
+    def _pruned_paths(self, analysis: hexec.AnalyzedSelect) -> List[str]:
+        """Partition pruning: keep only partitions whose values satisfy the
+        extracted ranges (Hive's coarse-grained 'index')."""
+        table = analysis.table
+        if not table.is_partitioned or not table.partitions:
+            root = table.data_location
+            return [root] if self.fs.exists(root) else []
+        kept: List[str] = []
+        for values, directory in sorted(table.partitions.items()):
+            keep = True
+            for column, value in zip(table.partition_schema.columns, values):
+                interval = analysis.ranges.interval_for(column.name)
+                if interval is not None and not interval.contains(value):
+                    keep = False
+                    break
+            if keep and self.fs.exists(directory):
+                kept.append(directory)
+        return kept
+
+    def _write_directory(self, directory: str, rows: List[Tuple],
+                         stats: QueryStats) -> TimeBreakdown:
+        """INSERT OVERWRITE DIRECTORY: write the result as a text file."""
+        if self.fs.exists(directory):
+            self.fs.delete(directory, recursive=True)
+        path = f"{directory}/000000_0"
+        before = self.fs.io.snapshot()
+        with self.fs.create(path) as writer:
+            for row in rows:
+                line = "|".join("" if v is None else str(v) for v in row)
+                writer.write(line.encode("utf-8") + b"\n")
+        written = self.fs.io.delta(before).bytes_written
+        extra = JobStats(output_bytes=written)
+        return self.cost_model.job_seconds(extra, include_launch=False)
+
+    def _describe(self, analysis: hexec.AnalyzedSelect,
+                  plan: Optional[IndexAccessPlan],
+                  splits: List[FileSplit]) -> str:
+        lines = [f"table: {analysis.table.name} "
+                 f"({analysis.table.stored_as})"]
+        if analysis.joins:
+            lines.append("join: broadcast hash join x"
+                         f"{len(analysis.joins)}")
+        if plan is not None:
+            lines.append(f"index: {plan.description}")
+        else:
+            lines.append("index: none (full scan)")
+        lines.append(f"splits: {len(splits)}")
+        shape = "group/aggregate" if analysis.is_group_query else "projection"
+        lines.append(f"shape: {shape}")
+        return "\n".join(lines)
+
+    def _explain(self, stmt: ast.SelectStmt,
+                 options: QueryOptions) -> QueryResult:
+        analysis = hexec.analyze(self.metastore, stmt)
+        plan = self._plan_access(analysis, options)
+        splits, _fmt = self._resolve_splits(analysis, plan)
+        text = self._describe(analysis, plan, splits)
+        return QueryResult(columns=["plan"],
+                           rows=[(line,) for line in text.split("\n")],
+                           description=text)
+
+    # -------------------------------------------------------------- counting
+    def table_row_count(self, table_name: str) -> int:
+        """Exact row count via a full scan (no index; used by tests)."""
+        table = self.metastore.get_table(table_name)
+        return sum(1 for _ in formats.scan_table_rows(self.fs, table))

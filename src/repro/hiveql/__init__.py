@@ -1,0 +1,15 @@
+"""HiveQL front end: lexer, parser, AST, expression compiler, predicate
+range extraction.
+
+The supported subset covers everything the paper's workloads use:
+``SELECT`` with aggregates / ``GROUP BY`` / two-table equi-``JOIN`` /
+``ORDER BY`` / ``LIMIT``, ``INSERT OVERWRITE DIRECTORY``, ``CREATE TABLE``
+(with ``STORED AS`` and ``PARTITIONED BY``), ``CREATE INDEX ... AS
+'<handler>' IDXPROPERTIES (...)``, ``DROP``, ``SHOW``, and ``EXPLAIN``.
+"""
+
+from repro.hiveql.lexer import tokenize, Token
+from repro.hiveql.parser import parse, parse_expression
+from repro.hiveql import ast
+
+__all__ = ["tokenize", "Token", "parse", "parse_expression", "ast"]

@@ -1,0 +1,280 @@
+"""AST node definitions for the HiveQL subset.
+
+All nodes are frozen dataclasses so plans can hash/compare them; ``render()``
+methods produce canonical SQL text for EXPLAIN output and error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+# --------------------------------------------------------------- expressions
+class Expr:
+    """Base class of all expression nodes."""
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int, float, str, bool, or None
+
+    def render(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        if self.value is None:
+            return "NULL"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None  # alias or table name qualifier
+
+    def render(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+    @property
+    def qualified(self) -> str:
+        return self.render().lower()
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` in ``SELECT *`` or ``COUNT(*)``."""
+
+    def render(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # AND OR = != < <= > >= + - * / %
+    left: Expr
+    right: Expr
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.op} {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT, -
+    operand: Expr
+
+    def render(self) -> str:
+        return f"({self.op} {self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """``expr BETWEEN lo AND hi`` (inclusive on both ends, as in SQL)."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+
+    def render(self) -> str:
+        return (f"({self.operand.render()} BETWEEN {self.low.render()} "
+                f"AND {self.high.render()})")
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    options: Tuple[Expr, ...]
+
+    def render(self) -> str:
+        opts = ", ".join(o.render() for o in self.options)
+        return f"({self.operand.render()} IN ({opts}))"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    name: str  # lower-cased
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+
+    def render(self) -> str:
+        inner = ", ".join(a.render() for a in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+#: Aggregate function names the planner recognizes.
+AGGREGATE_FUNCTIONS = {"sum", "count", "avg", "min", "max"}
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    return isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    if is_aggregate_call(expr):
+        return True
+    for child in expr_children(expr):
+        if contains_aggregate(child):
+            return True
+    return False
+
+
+def expr_children(expr: Expr) -> List[Expr]:
+    if isinstance(expr, BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.options]
+    if isinstance(expr, FuncCall):
+        return list(expr.args)
+    return []
+
+
+def collect_column_refs(expr: Expr) -> List[ColumnRef]:
+    """All column references in an expression tree, in visit order."""
+    refs: List[ColumnRef] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, ColumnRef):
+            refs.append(node)
+        for child in expr_children(node):
+            walk(child)
+
+    walk(expr)
+    return refs
+
+
+# ---------------------------------------------------------------- statements
+class Statement:
+    """Base class of all statement nodes."""
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return self.expr.render()
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name columns may be qualified with."""
+        return (self.alias or self.name).lower()
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    condition: Expr  # equi-join condition
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class SelectStmt(Statement):
+    items: Tuple[SelectItem, ...]
+    table: TableRef
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    #: INSERT OVERWRITE DIRECTORY '<path>' SELECT ... (paper's join query)
+    insert_directory: Optional[str] = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(contains_aggregate(item.expr) for item in self.items)
+
+    @property
+    def is_plain_aggregation(self) -> bool:
+        """All select items are aggregate calls and there is no GROUP BY —
+        the query shape DGFIndex can answer partly from pre-computed headers
+        (paper's "aggregation or UDF like query")."""
+        return (not self.group_by
+                and all(is_aggregate_call(item.expr) for item in self.items))
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str  # int/bigint/double/string/date
+
+
+@dataclass(frozen=True)
+class CreateTableStmt(Statement):
+    name: str
+    columns: Tuple[ColumnDef, ...]
+    stored_as: str = "TEXTFILE"  # TEXTFILE | RCFILE | SEQUENCEFILE
+    partitioned_by: Tuple[ColumnDef, ...] = ()
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Statement):
+    """``CREATE INDEX name ON TABLE t(cols) AS '<handler>'
+    [WITH DEFERRED REBUILD] IDXPROPERTIES ('k'='v', ...)`` — Listing 3."""
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    handler: str
+    properties: Dict[str, str] = field(default_factory=dict)
+    deferred_rebuild: bool = False
+
+    # Dict makes the dataclass unhashable; that is fine for statements.
+    __hash__ = None
+
+
+@dataclass(frozen=True)
+class DropTableStmt(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndexStmt(Statement):
+    name: str
+    table: str
+
+
+@dataclass(frozen=True)
+class ShowTablesStmt(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class ShowIndexesStmt(Statement):
+    table: str
+
+
+@dataclass(frozen=True)
+class DescribeStmt(Statement):
+    table: str
+
+
+@dataclass(frozen=True)
+class ExplainStmt(Statement):
+    query: SelectStmt

@@ -1,0 +1,242 @@
+"""Compiles AST expressions into Python callables over row tuples.
+
+A *resolver* maps (possibly qualified) column names to row positions; the
+compiled function then evaluates with plain tuple indexing, which keeps the
+per-record cost of scans low.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError, SemanticError
+from repro.hiveql import ast
+
+RowFn = Callable[[Sequence[Any]], Any]
+
+
+class ColumnResolver:
+    """Maps column references to positions in the runtime row tuple.
+
+    Registered names include both bare (``userid``) and qualified
+    (``t1.userid``) forms; bare names must be unambiguous.
+    """
+
+    def __init__(self):
+        self._positions: Dict[str, int] = {}
+        self._ambiguous: set = set()
+
+    @classmethod
+    def for_schema(cls, schema, binding: Optional[str] = None,
+                   offset: int = 0) -> "ColumnResolver":
+        resolver = cls()
+        resolver.add_schema(schema, binding, offset)
+        return resolver
+
+    def add_schema(self, schema, binding: Optional[str],
+                   offset: int = 0) -> None:
+        for i, column in enumerate(schema.columns):
+            self.add(column.name, offset + i, binding)
+
+    def add(self, name: str, position: int, binding: Optional[str]) -> None:
+        bare = name.lower()
+        if bare in self._positions and self._positions[bare] != position:
+            self._ambiguous.add(bare)
+        self._positions.setdefault(bare, position)
+        if binding:
+            self._positions[f"{binding.lower()}.{bare}"] = position
+
+    def resolve(self, ref: ast.ColumnRef) -> int:
+        key = ref.qualified
+        if key in self._positions:
+            if ref.table is None and ref.name.lower() in self._ambiguous:
+                raise SemanticError(f"ambiguous column {ref.name!r}")
+            return self._positions[key]
+        raise SemanticError(f"unknown column {ref.render()!r}")
+
+    def try_resolve(self, ref: ast.ColumnRef) -> Optional[int]:
+        try:
+            return self.resolve(ref)
+        except SemanticError:
+            return None
+
+
+def compile_expr(expr: ast.Expr, resolver: ColumnResolver) -> RowFn:
+    """Compile a scalar (non-aggregate) expression into ``row -> value``."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ast.ColumnRef):
+        position = resolver.resolve(expr)
+        return lambda row: row[position]
+    if isinstance(expr, ast.Star):
+        return lambda row: tuple(row)
+    if isinstance(expr, ast.UnaryOp):
+        operand = compile_expr(expr.operand, resolver)
+        if expr.op == "NOT":
+            return lambda row: _not(operand(row))
+        if expr.op == "-":
+            return lambda row: _neg(operand(row))
+        raise SemanticError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, ast.Between):
+        operand = compile_expr(expr.operand, resolver)
+        low = compile_expr(expr.low, resolver)
+        high = compile_expr(expr.high, resolver)
+
+        def between(row):
+            value = operand(row)
+            if value is None:
+                return None
+            return low(row) <= value <= high(row)
+
+        return between
+    if isinstance(expr, ast.InList):
+        operand = compile_expr(expr.operand, resolver)
+        options = [compile_expr(o, resolver) for o in expr.options]
+
+        def in_list(row):
+            value = operand(row)
+            if value is None:
+                return None
+            return any(value == option(row) for option in options)
+
+        return in_list
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, resolver)
+    if isinstance(expr, ast.FuncCall):
+        return _compile_scalar_func(expr, resolver)
+    raise SemanticError(f"cannot evaluate expression {expr!r}")
+
+
+def _compile_binary(expr: ast.BinaryOp, resolver: ColumnResolver) -> RowFn:
+    left = compile_expr(expr.left, resolver)
+    right = compile_expr(expr.right, resolver)
+    op = expr.op
+    if op == "AND":
+        def and_(row):
+            lhs = left(row)
+            if lhs is False:
+                return False
+            rhs = right(row)
+            if rhs is False:
+                return False
+            if lhs is None or rhs is None:
+                return None
+            return True
+        return and_
+    if op == "OR":
+        def or_(row):
+            lhs = left(row)
+            if lhs is True:
+                return True
+            rhs = right(row)
+            if rhs is True:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+        return or_
+    comparison = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }.get(op)
+    if comparison is not None:
+        def compare(row):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return comparison(a, b)
+        return compare
+    if op == "LIKE":
+        def like(row):
+            value = left(row)
+            pattern = right(row)
+            if value is None or pattern is None:
+                return None
+            return _like_match(str(value), str(pattern))
+        return like
+    arithmetic = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": _div,
+        "%": lambda a, b: a % b,
+    }.get(op)
+    if arithmetic is not None:
+        def arith(row):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            return arithmetic(a, b)
+        return arith
+    raise SemanticError(f"unknown operator {op!r}")
+
+
+def _compile_scalar_func(expr: ast.FuncCall, resolver: ColumnResolver) -> RowFn:
+    if expr.name in ast.AGGREGATE_FUNCTIONS:
+        raise SemanticError(
+            f"aggregate {expr.name}() in a scalar context; aggregates are "
+            "handled by the group-by operator")
+    args = [compile_expr(a, resolver) for a in expr.args]
+    fn = _SCALAR_FUNCTIONS.get(expr.name)
+    if fn is None:
+        raise SemanticError(f"unknown function {expr.name!r}")
+    return lambda row: fn(*[a(row) for a in args])
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """SQL LIKE: ``%`` matches any run, ``_`` any single character."""
+    import re
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern)
+    return re.fullmatch(regex, value) is not None
+
+
+def _div(a, b):
+    if b == 0:
+        return None  # SQL semantics: Hive returns NULL on division by zero
+    return a / b
+
+
+def _not(value):
+    if value is None:
+        return None
+    return not value
+
+
+def _neg(value):
+    if value is None:
+        return None
+    return -value
+
+
+_SCALAR_FUNCTIONS = {
+    "abs": lambda v: None if v is None else abs(v),
+    "round": lambda v, d=0: None if v is None else round(v, int(d)),
+    "floor": lambda v: None if v is None else int(v // 1),
+    "ceil": lambda v: None if v is None else -int(-v // 1),
+    "lower": lambda s: None if s is None else s.lower(),
+    "upper": lambda s: None if s is None else s.upper(),
+    "length": lambda s: None if s is None else len(s),
+    "concat": lambda *parts: None if any(p is None for p in parts)
+    else "".join(str(p) for p in parts),
+    "year": lambda d: None if d is None else int(str(d)[:4]),
+    "month": lambda d: None if d is None else int(str(d)[5:7]),
+    "day": lambda d: None if d is None else int(str(d)[8:10]),
+}
+
+
+def predicate_fn(where: Optional[ast.Expr],
+                 resolver: ColumnResolver) -> Callable[[Sequence[Any]], bool]:
+    """Compile a WHERE clause into a boolean row filter (NULL -> False)."""
+    if where is None:
+        return lambda row: True
+    compiled = compile_expr(where, resolver)
+    return lambda row: compiled(row) is True

@@ -1,0 +1,17 @@
+"""Hive's built-in indexes (the paper's baselines): Compact, Aggregate,
+Bitmap, plus partition-pruning support utilities.
+
+All three are *index tables*: they materialize every combination of the
+indexed dimensions together with record locations, which is exactly the
+weakness the paper measures (Section 2.2).
+"""
+
+from repro.indexes.compact import CompactIndexHandler
+from repro.indexes.aggregate import AggregateIndexHandler
+from repro.indexes.bitmap import BitmapIndexHandler
+
+__all__ = [
+    "CompactIndexHandler",
+    "AggregateIndexHandler",
+    "BitmapIndexHandler",
+]

@@ -1,0 +1,148 @@
+"""Hive's Aggregate Index (HIVE-1694).
+
+Built on the Compact Index: the index table carries a pre-computed
+``count(*)`` per (dimension combination, file).  Using "index as data" and
+query rewriting, a GROUP BY query over indexed dimensions becomes a scan of
+the much smaller index table.
+
+The paper notes the heavy restrictions: SELECT/WHERE/GROUP BY may reference
+only indexed dimensions and the aggregations must be derivable from the
+pre-computed list (only ``count`` is supported).  When the restrictions are
+not met, the handler degrades to Compact-style split filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hive import formats
+from repro.hive.indexhandler import (BuildReport, IndexAccessPlan,
+                                     IndexHandler, QueryIndexContext)
+from repro.hive.metastore import IndexInfo, TableInfo
+from repro.indexes import common
+from repro.indexes.compact import CompactIndexHandler
+from repro.mapreduce.job import Job
+from repro.storage.schema import Column, DataType
+
+
+class AggregateIndexHandler(IndexHandler):
+    handler_name = "aggregate"
+
+    # ------------------------------------------------------------------ build
+    def build(self, session, index: IndexInfo) -> BuildReport:
+        base = session.metastore.get_table(index.table)
+        dims = list(index.columns)
+        dim_positions = [base.schema.index_of(c) for c in dims]
+        index_table = self._create_index_table(session, index, base)
+
+        def mapper(offset, row, ctx):
+            key = tuple(row[p] for p in dim_positions) + (ctx.split.path,)
+            ctx.emit(key, offset)
+
+        def reducer(key, offsets, ctx):
+            *dim_values, filename = key
+            merged = sorted(set(offsets))
+            row = tuple(dim_values) + (
+                filename, ",".join(str(o) for o in merged), len(offsets))
+            ctx.state["writer"].write_row(row)
+
+        def reduce_setup(ctx):
+            path = f"{index_table.location}/{ctx.task_id:06d}_0"
+            ctx.state["writer"] = formats.open_row_writer(
+                session.fs, path, index_table, overwrite=True)
+
+        def reduce_cleanup(ctx):
+            ctx.state["writer"].close()
+
+        input_format = formats.input_format_for(
+            base, columns=dims if base.stored_as.upper() == formats.RCFILE
+            else None)
+        job = Job(name=f"build-aggregate-{index.name}",
+                  input_format=input_format,
+                  input_paths=[base.data_location],
+                  mapper=mapper, reducer=reducer, num_reducers=4,
+                  reduce_setup=reduce_setup, reduce_cleanup=reduce_cleanup)
+        result = session.engine.run(job)
+
+        size = session.fs.total_size(index_table.location)
+        index.state["index_table"] = index_table.name
+        index.built = True
+        return BuildReport(index_name=index.name, handler=self.handler_name,
+                           index_size_bytes=size,
+                           build_time=session.cost_model.job_seconds(
+                               result.stats),
+                           job_stats=result.stats,
+                           details={"index_table": index_table.name})
+
+    def _create_index_table(self, session, index: IndexInfo,
+                            base: TableInfo) -> TableInfo:
+        name = common.index_table_name(index)
+        if session.metastore.has_table(name):
+            old = session.metastore.get_table(name)
+            if session.fs.exists(old.location):
+                session.fs.delete(old.location, recursive=True)
+            session.metastore.drop_table(name)
+        schema = common.index_table_schema(
+            base, index, extra=[Column("_count_of_all", DataType.BIGINT)])
+        info = TableInfo(name=name, schema=schema, stored_as=base.stored_as,
+                         properties={"is_index_table": True})
+        session.metastore.create_table(info)
+        session.fs.mkdirs(info.location)
+        return info
+
+    # ------------------------------------------------------------------ query
+    def plan_access(self, session, table: TableInfo, index: IndexInfo,
+                    ctx: QueryIndexContext) -> Optional[IndexAccessPlan]:
+        rewrite = self._try_rewrite(session, index, ctx)
+        if rewrite is not None:
+            return rewrite
+        # Degrade to compact-style split filtering using the same table.
+        if not common.constrains_some_dimension(index, ctx.ranges):
+            return None
+        compact = CompactIndexHandler()
+        plan = compact.plan_access(session, table, index, ctx)
+        if plan is not None:
+            plan.description = plan.description.replace(
+                "compact(", "aggregate-as-compact(")
+        return plan
+
+    def _try_rewrite(self, session, index: IndexInfo,
+                     ctx: QueryIndexContext) -> Optional[IndexAccessPlan]:
+        """The index-as-data GROUP BY rewrite, if the restrictions hold."""
+        if not ctx.group_columns or not ctx.agg_keys:
+            return None
+        indexed = {c.lower() for c in index.columns}
+        if not set(ctx.group_columns) <= indexed:
+            return None
+        if any(key != "count(*)" for key in ctx.agg_keys):
+            return None  # only count is pre-computed (as in Hive)
+        if not ctx.ranges.exact:
+            return None  # residual predicates reference other columns
+        if not set(ctx.ranges.intervals) <= indexed:
+            return None
+        index_table = session.metastore.get_table(
+            index.state["index_table"])
+        dims = [c.lower() for c in index.columns]
+        group_positions = [dims.index(g) for g in ctx.group_columns]
+        count_position = len(dims) + 2  # after _bucketname, _offsets
+
+        grouped: Dict[Tuple, int] = {}
+        records = 0
+        for row in formats.scan_table_rows(session.fs, index_table):
+            records += 1
+            if not common.matches_ranges(row[:len(dims)], index.columns,
+                                         ctx.ranges):
+                continue
+            key = tuple(row[p] for p in group_positions)
+            grouped[key] = grouped.get(key, 0) + row[count_position]
+        rewrite_grouped = {key: tuple(count for _ in ctx.agg_keys)
+                           for key, count in grouped.items()}
+        index_time = common.index_scan_cost(session, index_table, records)
+        return IndexAccessPlan(
+            description=f"aggregate({index.name}) group-by rewrite",
+            splits=[], index_time=index_time,
+            rewrite_grouped=rewrite_grouped,
+            index_records_scanned=records)
+
+    def drop(self, session, index: IndexInfo) -> None:
+        CompactIndexHandler().drop(session, index)

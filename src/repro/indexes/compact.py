@@ -1,0 +1,138 @@
+"""Hive's Compact Index (HIVE-417), the paper's primary baseline.
+
+Build (Listing 1 of the paper): a MapReduce job groups the base table by
+(indexed dimensions, INPUT_FILE_NAME) and collects the set of
+BLOCK_OFFSET_INSIDE_FILE values — line offsets for TextFile, row-group
+offsets for RCFile.  The result is an *index table* stored like any Hive
+table.
+
+Query: Hive first scans the whole index table, writes the matching
+``filename -> offsets`` pairs to a temp file, and ``getSplits`` keeps only
+the splits containing at least one offset.  The chosen splits are then
+scanned *fully* — the Compact Index cannot skip data inside a split, which
+is the asymmetry DGFIndex exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hive import formats
+from repro.hive.indexhandler import (BuildReport, IndexAccessPlan,
+                                     IndexHandler, QueryIndexContext)
+from repro.hive.metastore import IndexInfo, TableInfo
+from repro.indexes import common
+from repro.mapreduce.job import Job
+
+
+class CompactIndexHandler(IndexHandler):
+    handler_name = "compact"
+
+    # ------------------------------------------------------------------ build
+    def build(self, session, index: IndexInfo) -> BuildReport:
+        base = session.metastore.get_table(index.table)
+        dims = list(index.columns)
+        dim_positions = [base.schema.index_of(c) for c in dims]
+
+        index_table = self._create_index_table(session, index, base)
+        writer_box: Dict[int, object] = {}
+
+        def mapper(offset, row, ctx):
+            key = tuple(row[p] for p in dim_positions) + (ctx.split.path,)
+            ctx.emit(key, offset)
+
+        def combiner(key, offsets, ctx):
+            ctx.emit(key, sorted(set(offsets)))
+
+        def reducer(key, offset_lists, ctx):
+            merged = sorted({o for chunk in offset_lists
+                             for o in (chunk if isinstance(chunk, list)
+                                       else [chunk])})
+            *dim_values, filename = key
+            row = tuple(dim_values) + (
+                filename, ",".join(str(o) for o in merged))
+            ctx.state["writer"].write_row(row)
+
+        def reduce_setup(ctx):
+            path = f"{index_table.location}/{ctx.task_id:06d}_0"
+            ctx.state["writer"] = formats.open_row_writer(
+                session.fs, path, index_table, overwrite=True)
+
+        def reduce_cleanup(ctx):
+            ctx.state["writer"].close()
+
+        input_format = formats.input_format_for(
+            base, columns=dims if base.stored_as.upper() == formats.RCFILE
+            else None)
+        job = Job(name=f"build-compact-{index.name}",
+                  input_format=input_format,
+                  input_paths=[base.data_location],
+                  mapper=mapper, combiner=combiner, reducer=reducer,
+                  num_reducers=4, reduce_setup=reduce_setup,
+                  reduce_cleanup=reduce_cleanup)
+        result = session.engine.run(job)
+
+        size = session.fs.total_size(index_table.location)
+        build_time = session.cost_model.job_seconds(result.stats)
+        index.state["index_table"] = index_table.name
+        index.built = True
+        return BuildReport(index_name=index.name, handler=self.handler_name,
+                           index_size_bytes=size, build_time=build_time,
+                           job_stats=result.stats,
+                           details={"index_table": index_table.name,
+                                    "index_records":
+                                        result.stats.reduce_input_records})
+
+    def _create_index_table(self, session, index: IndexInfo,
+                            base: TableInfo) -> TableInfo:
+        name = common.index_table_name(index)
+        if session.metastore.has_table(name):
+            old = session.metastore.get_table(name)
+            if session.fs.exists(old.location):
+                session.fs.delete(old.location, recursive=True)
+            session.metastore.drop_table(name)
+        info = TableInfo(name=name,
+                         schema=common.index_table_schema(base, index),
+                         stored_as=base.stored_as,
+                         properties={"is_index_table": True})
+        session.metastore.create_table(info)
+        session.fs.mkdirs(info.location)
+        return info
+
+    # ------------------------------------------------------------------ query
+    def plan_access(self, session, table: TableInfo, index: IndexInfo,
+                    ctx: QueryIndexContext) -> Optional[IndexAccessPlan]:
+        if not common.constrains_some_dimension(index, ctx.ranges):
+            return None  # no predicate on any indexed dimension
+        index_table = session.metastore.get_table(
+            index.state["index_table"])
+
+        offsets_by_file: Dict[str, List[int]] = {}
+        records = 0
+        ndims = len(index.columns)
+        for row in formats.scan_table_rows(session.fs, index_table):
+            records += 1
+            if not common.matches_ranges(row[:ndims], index.columns,
+                                         ctx.ranges):
+                continue
+            filename = row[ndims]
+            offsets = [int(o) for o in row[ndims + 1].split(",") if o]
+            offsets_by_file.setdefault(filename, []).extend(offsets)
+        for offsets in offsets_by_file.values():
+            offsets.sort()
+
+        chosen, total = common.splits_for_offsets(session.fs, table,
+                                                  offsets_by_file)
+        index_time = common.index_scan_cost(session, index_table, records)
+        return IndexAccessPlan(
+            description=(f"compact({index.name}) "
+                         f"splits {len(chosen)}/{total}"),
+            splits=chosen, input_format=None, index_time=index_time,
+            index_records_scanned=records)
+
+    def drop(self, session, index: IndexInfo) -> None:
+        name = index.state.get("index_table")
+        if name and session.metastore.has_table(name):
+            info = session.metastore.drop_table(name)
+            if session.fs.exists(info.location):
+                session.fs.delete(info.location, recursive=True)

@@ -1,0 +1,5 @@
+"""An HBase-like sorted key-value store (DGFIndex's index storage)."""
+
+from repro.kvstore.hbase import KVStore, Region
+
+__all__ = ["KVStore", "Region"]

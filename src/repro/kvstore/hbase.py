@@ -1,0 +1,138 @@
+"""A minimal HBase: ordered string keys, regions, gets/puts/scans.
+
+DGFIndex stores one ``GFUKey -> GFUValue`` pair per grid-file unit here
+(the paper uses HBase 0.94).  What matters for the reproduction is (a) an
+ordered keyspace with range scans, (b) per-operation accounting that the
+cost model converts into the "read index" part of the paper's stacked bars,
+and (c) region splitting so the store scales like HBase does.
+
+Values are arbitrary Python objects; sizes for accounting use the engine's
+serialized-size estimator.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import KVStoreError
+from repro.mapreduce.cost import KVStats
+
+DEFAULT_MAX_REGION_KEYS = 100_000
+
+
+@dataclass
+class Region:
+    """A contiguous key range served together (HBase region)."""
+
+    start_key: str  # inclusive; "" = open start
+    keys: List[str] = field(default_factory=list)       # sorted
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class KVStore:
+    """Sorted key-value store with HBase-flavoured operations."""
+
+    def __init__(self, max_region_keys: int = DEFAULT_MAX_REGION_KEYS):
+        if max_region_keys < 2:
+            raise KVStoreError("max_region_keys must be >= 2")
+        self.max_region_keys = max_region_keys
+        self._regions: List[Region] = [Region(start_key="")]
+        self.stats = KVStats()
+
+    # --------------------------------------------------------------- regions
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def _region_for(self, key: str) -> Region:
+        starts = [r.start_key for r in self._regions]
+        idx = bisect.bisect_right(starts, key) - 1
+        return self._regions[max(idx, 0)]
+
+    def _maybe_split(self, region: Region) -> None:
+        if len(region) <= self.max_region_keys:
+            return
+        mid = len(region.keys) // 2
+        right_keys = region.keys[mid:]
+        right = Region(start_key=right_keys[0], keys=right_keys,
+                       values={k: region.values.pop(k) for k in right_keys})
+        del region.keys[mid:]
+        idx = self._regions.index(region)
+        self._regions.insert(idx + 1, right)
+
+    # ------------------------------------------------------------------- ops
+    def put(self, key: str, value: Any) -> None:
+        if not isinstance(key, str):
+            raise KVStoreError(f"keys must be strings, got {type(key)}")
+        region = self._region_for(key)
+        if key not in region.values:
+            bisect.insort(region.keys, key)
+        region.values[key] = value
+        self.stats.puts += 1
+        self._maybe_split(region)
+
+    def put_all(self, items: Dict[str, Any]) -> None:
+        for key, value in items.items():
+            self.put(key, value)
+
+    def get(self, key: str) -> Optional[Any]:
+        self.stats.gets += 1
+        return self._region_for(key).values.get(key)
+
+    def multi_get(self, keys) -> Dict[str, Any]:
+        """Batch get; missing keys are omitted from the result."""
+        out: Dict[str, Any] = {}
+        for key in keys:
+            value = self.get(key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def delete(self, key: str) -> bool:
+        region = self._region_for(key)
+        if key not in region.values:
+            return False
+        del region.values[key]
+        idx = bisect.bisect_left(region.keys, key)
+        del region.keys[idx]
+        return True
+
+    def contains(self, key: str) -> bool:
+        self.stats.gets += 1
+        return key in self._region_for(key).values
+
+    def scan(self, start_key: str = "", stop_key: Optional[str] = None
+             ) -> Iterator[Tuple[str, Any]]:
+        """Yield ``(key, value)`` for start_key <= key < stop_key, in order."""
+        for region in self._regions:
+            if stop_key is not None and region.start_key >= stop_key:
+                break
+            lo = bisect.bisect_left(region.keys, start_key)
+            for key in region.keys[lo:]:
+                if stop_key is not None and key >= stop_key:
+                    return
+                self.stats.rows_scanned += 1
+                yield key, region.values[key]
+
+    def count(self) -> int:
+        return sum(len(r) for r in self._regions)
+
+    def keys(self) -> List[str]:
+        out: List[str] = []
+        for region in self._regions:
+            out.extend(region.keys)
+        return out
+
+    def snapshot_stats(self) -> KVStats:
+        return KVStats(self.stats.gets, self.stats.puts,
+                       self.stats.rows_scanned)
+
+    def stats_delta(self, earlier: KVStats) -> KVStats:
+        return KVStats(self.stats.gets - earlier.gets,
+                       self.stats.puts - earlier.puts,
+                       self.stats.rows_scanned - earlier.rows_scanned)

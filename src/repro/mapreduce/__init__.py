@@ -1,0 +1,36 @@
+"""A deterministic in-process MapReduce engine with Hadoop-like semantics.
+
+The engine reproduces the mechanics the paper's measurements hinge on:
+
+* input splits derived from file blocks (``InputFormat.get_splits``),
+* per-split map tasks with record readers, combiners, hash partitioning,
+  sort-merge reduce,
+* counters (records/bytes/tasks) feeding a calibrated cost model that
+  converts a scaled-down run into paper-scale simulated seconds.
+"""
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.splits import (
+    FileSplit,
+    InputFormat,
+    TextRowInputFormat,
+    RCFileRowInputFormat,
+)
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.cost import CostModel, TimeBreakdown
+from repro.mapreduce.job import Job, JobResult
+from repro.mapreduce.engine import MapReduceEngine
+
+__all__ = [
+    "Counters",
+    "FileSplit",
+    "InputFormat",
+    "TextRowInputFormat",
+    "RCFileRowInputFormat",
+    "ClusterConfig",
+    "CostModel",
+    "TimeBreakdown",
+    "Job",
+    "JobResult",
+    "MapReduceEngine",
+]

@@ -1,0 +1,125 @@
+"""Input splits, input formats and record readers.
+
+``InputFormat.get_splits`` mirrors Hadoop's FileInputFormat: each file is cut
+at block boundaries into :class:`FileSplit` ranges.  Index handlers hook in
+*before* the engine (Hive's temp-file protocol) by shrinking the split list
+or by attaching per-split metadata such as DGFIndex slice lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hdfs.filesystem import HDFS
+from repro.storage.rcfile import RCFileReader
+from repro.storage.schema import Schema
+from repro.storage.textfile import TextFileReader
+
+
+@dataclass
+class FileSplit:
+    """A byte range of one file processed by one map task."""
+
+    path: str
+    start: int
+    length: int
+    hosts: Tuple[int, ...] = ()
+    #: Free-form per-split metadata; the DGFIndex input format stores the
+    #: ordered slice ranges a task must read (paper's <split, slicesInSplit>).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+    def __repr__(self) -> str:
+        return f"FileSplit({self.path}:{self.start}+{self.length})"
+
+
+class InputFormat:
+    """Interface: split computation plus a record reader per split."""
+
+    def get_splits(self, fs: HDFS, paths: Sequence[str]) -> List[FileSplit]:
+        """Default: one split per block-aligned range of each file."""
+        splits: List[FileSplit] = []
+        for path in paths:
+            for file_path in _expand(fs, path):
+                splits.extend(self._file_splits(fs, file_path))
+        return splits
+
+    def _file_splits(self, fs: HDFS, file_path: str) -> List[FileSplit]:
+        status = fs.status(file_path)
+        if status.length == 0:
+            return []
+        splits = []
+        offset = 0
+        for block in status.blocks:
+            splits.append(FileSplit(path=file_path, start=offset,
+                                    length=block.length,
+                                    hosts=tuple(block.datanodes)))
+            offset += block.length
+        return splits
+
+    def read_split(self, fs: HDFS, split: FileSplit
+                   ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, value)`` records of one split."""
+        raise NotImplementedError
+
+
+def _expand(fs: HDFS, path: str) -> List[str]:
+    """A path may be a file or a directory of files."""
+    status = fs.status(path)
+    if status.is_dir:
+        return fs.list_files(path)
+    return [path]
+
+
+class TextRowInputFormat(InputFormat):
+    """Text files parsed into schema rows; key = line byte offset."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def read_split(self, fs: HDFS, split: FileSplit
+                   ) -> Iterator[Tuple[int, Tuple]]:
+        with fs.open(split.path) as stream:
+            reader = TextFileReader(stream, self.schema)
+            yield from reader.iter_rows(split.start, split.end)
+
+
+class RCFileRowInputFormat(InputFormat):
+    """RCFile tables; key = row-group byte offset, with column pruning.
+
+    A split owns the row groups whose header starts inside its range.  Group
+    offsets are discovered by a cheap header walk (real RCFile uses sync
+    markers for the same purpose).
+    """
+
+    def __init__(self, schema: Schema, columns: Optional[Sequence[str]] = None,
+                 group_filter=None, row_filter=None):
+        self.schema = schema
+        self.columns = list(columns) if columns is not None else None
+        #: optional ``(path, group_offset) -> bool``, used by indexes to skip
+        #: whole row groups inside a split.
+        self.group_filter = group_filter
+        #: optional ``(path, group_offset, row_index) -> bool`` (Bitmap Index).
+        self.row_filter = row_filter
+
+    def read_split(self, fs: HDFS, split: FileSplit
+                   ) -> Iterator[Tuple[int, Tuple]]:
+        with fs.open(split.path) as stream:
+            reader = RCFileReader(stream, self.schema)
+            for group_offset, nrows in list(reader.iter_groups(0, None)):
+                if not (split.start <= group_offset < split.end):
+                    continue
+                if (self.group_filter is not None
+                        and not self.group_filter(split.path, group_offset)):
+                    continue
+                row_filter = None
+                if self.row_filter is not None:
+                    row_filter = (lambda off, r, _p=split.path:
+                                  self.row_filter(_p, off, r))
+                for row in reader.read_group_rows(group_offset, self.columns,
+                                                  row_filter):
+                    yield group_offset, row

@@ -1,0 +1,14 @@
+"""DBMS-X write-path model for the paper's Figure 3 (write throughput of
+DBMS-X with/without index vs HDFS)."""
+
+from repro.rdbms.btree import BPlusTree, BufferPool
+from repro.rdbms.writer import (WriteThroughputResult, measure_dbms_write,
+                                measure_hdfs_write)
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "WriteThroughputResult",
+    "measure_dbms_write",
+    "measure_hdfs_write",
+]

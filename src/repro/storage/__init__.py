@@ -1,0 +1,27 @@
+"""Storage layer: table schemas and the file formats Hive tables use.
+
+Three formats are implemented, mirroring the paper's setup:
+
+* :mod:`repro.storage.textfile` — delimited text, the base format of
+  DGFIndex tables in the paper;
+* :mod:`repro.storage.rcfile` — PAX-style row groups with columnar blobs,
+  the base format of Compact-Index tables in the paper;
+* :mod:`repro.storage.sequencefile` — binary key-value records.
+"""
+
+from repro.storage.schema import Column, DataType, Schema
+from repro.storage.textfile import TextFileReader, TextFileWriter
+from repro.storage.rcfile import RCFileReader, RCFileWriter
+from repro.storage.sequencefile import SequenceFileReader, SequenceFileWriter
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Schema",
+    "TextFileReader",
+    "TextFileWriter",
+    "RCFileReader",
+    "RCFileWriter",
+    "SequenceFileReader",
+    "SequenceFileWriter",
+]

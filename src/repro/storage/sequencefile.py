@@ -1,0 +1,93 @@
+"""SequenceFile format: length-prefixed binary key-value records.
+
+Hive tables can be stored as SequenceFile; the MapReduce engine also uses it
+for intermediate shuffle spill files.  Layout::
+
+    file   := MAGIC record*
+    record := total_len(u32) key_len(u32) key_bytes value_bytes
+
+``BLOCK_OFFSET_INSIDE_FILE`` for a SequenceFile row is the byte offset of its
+record header, matching the paper's description that for TextFile and
+SequenceFile the offset is per-row.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import StorageFormatError
+from repro.hdfs.filesystem import HDFSReader, HDFSWriter
+
+MAGIC = b"SEQ6"
+_HEADER = struct.Struct("<II")
+_READ_CHUNK = 256 * 1024
+
+
+class SequenceFileWriter:
+    """Appends binary key-value records."""
+
+    def __init__(self, stream: HDFSWriter):
+        self._stream = stream
+        self._stream.write(MAGIC)
+        self.records_written = 0
+
+    @property
+    def pos(self) -> int:
+        return self._stream.pos
+
+    def append(self, key: bytes, value: bytes) -> int:
+        """Write one record; return its starting byte offset."""
+        offset = self._stream.pos
+        self._stream.write(_HEADER.pack(len(key) + len(value), len(key)))
+        self._stream.write(key)
+        self._stream.write(value)
+        self.records_written += 1
+        return offset
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "SequenceFileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SequenceFileReader:
+    """Iterates ``(offset, key, value)`` triples over a byte range."""
+
+    def __init__(self, stream: HDFSReader):
+        self._stream = stream
+        magic = stream.pread(0, len(MAGIC))
+        if magic != MAGIC:
+            raise StorageFormatError(
+                f"{stream.path!r} is not a SequenceFile (magic {magic!r})")
+
+    def iter_records(self, start: int = 0, end: Optional[int] = None
+                     ) -> Iterator[Tuple[int, bytes, bytes]]:
+        """Yield records whose header starts in ``[start, end)``.
+
+        ``start`` must be a record boundary (or 0 / the magic length); the
+        engine only ever passes offsets previously returned by the writer.
+        """
+        file_len = self._stream.length
+        if end is None or end > file_len:
+            end = file_len
+        pos = max(start, len(MAGIC))
+        while pos < end:
+            header = self._stream.pread(pos, _HEADER.size)
+            if len(header) < _HEADER.size:
+                raise StorageFormatError(
+                    f"truncated record header at {pos} in {self._stream.path!r}")
+            total_len, key_len = _HEADER.unpack(header)
+            if key_len > total_len:
+                raise StorageFormatError(
+                    f"corrupt record at {pos} in {self._stream.path!r}")
+            payload = self._stream.pread(pos + _HEADER.size, total_len)
+            if len(payload) < total_len:
+                raise StorageFormatError(
+                    f"truncated record body at {pos} in {self._stream.path!r}")
+            yield pos, payload[:key_len], payload[key_len:]
+            pos += _HEADER.size + total_len

@@ -1,0 +1,28 @@
+"""Oozie-like workflow orchestration (the paper's Section 3 data flow).
+
+The Zhejiang Grid migration turns each RDBMS stored procedure (tens of SQL
+statements) into a DAG of HiveQL actions, organized as a *workflow* and
+fired at fixed frequencies by a *coordinator* — together with archive-data
+synchronization and statistic-data ETL.  This package reproduces that
+orchestration layer:
+
+* :class:`~repro.workflow.dag.Workflow` — a named DAG of actions
+  (HiveQL statements or Python callables) with dependency edges,
+  topological execution, per-action status and failure propagation;
+* :class:`~repro.workflow.coordinator.Coordinator` — fixed-frequency
+  scheduling over a simulated clock, materializing workflow runs exactly
+  like Oozie's coordinator does.
+"""
+
+from repro.workflow.dag import (Action, ActionStatus, Workflow,
+                                WorkflowRun)
+from repro.workflow.coordinator import Coordinator, ScheduledWorkflow
+
+__all__ = [
+    "Action",
+    "ActionStatus",
+    "Workflow",
+    "WorkflowRun",
+    "Coordinator",
+    "ScheduledWorkflow",
+]

@@ -1,0 +1,99 @@
+"""Tests for repro.common: units, deterministic RNG, table rendering."""
+
+from repro.common.rng import DeterministicRNG
+from repro.common.tables import render_table
+from repro.common.units import GiB, KiB, MiB, human_bytes, human_seconds
+
+
+class TestHumanBytes:
+    def test_zero(self):
+        assert human_bytes(0) == "0B"
+
+    def test_bytes(self):
+        assert human_bytes(512) == "512B"
+
+    def test_kib(self):
+        assert human_bytes(2048) == "2.0KiB"
+
+    def test_mib(self):
+        assert human_bytes(3 * MiB) == "3.0MiB"
+
+    def test_gib(self):
+        assert human_bytes(int(1.5 * GiB)) == "1.5GiB"
+
+    def test_negative(self):
+        assert human_bytes(-2 * KiB) == "-2.0KiB"
+
+
+class TestHumanSeconds:
+    def test_sub_minute(self):
+        assert human_seconds(0.5) == "0.50s"
+
+    def test_minutes(self):
+        assert human_seconds(90) == "1m30s"
+
+    def test_hours(self):
+        assert human_seconds(3700) == "1h01m"
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(7).random()
+        b = DeterministicRNG(7).random()
+        assert a == b
+
+    def test_children_reproducible(self):
+        a = DeterministicRNG(7).child("x").randint(0, 1000)
+        b = DeterministicRNG(7).child("x").randint(0, 1000)
+        assert a == b
+
+    def test_children_independent_of_draw_order(self):
+        rng = DeterministicRNG(7)
+        rng.random()  # consuming the parent must not shift the child
+        shifted = rng.child("x").random()
+        fresh = DeterministicRNG(7).child("x").random()
+        assert shifted == fresh
+
+    def test_different_children_differ(self):
+        rng = DeterministicRNG(7)
+        assert rng.child("x").random() != rng.child("y").random()
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRNG(1)
+        for _ in range(100):
+            value = rng.uniform(2.0, 3.0)
+            assert 2.0 <= value <= 3.0
+
+    def test_choice_and_sample(self):
+        rng = DeterministicRNG(1)
+        options = ["a", "b", "c"]
+        assert rng.choice(options) in options
+        assert set(rng.sample(options, 2)) <= set(options)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(3)
+        values = list(range(20))
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == values
+
+
+class TestRenderTable:
+    def test_basic(self):
+        text = render_table(["a", "b"], [[1, "x"]])
+        assert "| a | b |" in text
+        assert "| 1 | x |" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="T")
+        assert text.startswith("**T**")
+
+    def test_number_formatting(self):
+        text = render_table(["n", "f"], [[1234567, 3.14159]])
+        assert "1,234,567" in text
+        assert "3.14" in text
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["x"], ["longer-value"]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1

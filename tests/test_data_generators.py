@@ -1,0 +1,140 @@
+"""Tests for the meter-data and TPC-H generators."""
+
+import datetime
+
+import pytest
+
+from repro.data.meter import (METER_SCHEMA, USER_INFO_SCHEMA,
+                              MeterDataConfig, MeterDataGenerator)
+from repro.data.tpch import (LINEITEM_SCHEMA, LineitemGenerator, TPCHConfig,
+                             q6_parameters, q6_sql)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return MeterDataGenerator(MeterDataConfig(num_users=100, num_days=5,
+                                              readings_per_day=2))
+
+
+@pytest.fixture(scope="module")
+def meter_data(generator):
+    return list(generator.iter_rows())
+
+
+class TestMeterData:
+    def test_record_count(self, generator, meter_data):
+        assert len(meter_data) == generator.config.total_records == 1000
+
+    def test_rows_validate_against_schema(self, meter_data):
+        for row in meter_data[:50]:
+            METER_SCHEMA.validate_row(row)
+        assert len(meter_data[0]) == 17  # the paper's 17 fields
+
+    def test_time_sorted(self, meter_data):
+        """Records with the same time stamp are stored together, in
+        chronological order (the paper's meter-data property)."""
+        ts_position = METER_SCHEMA.index_of("ts")
+        timestamps = [row[ts_position] for row in meter_data]
+        assert timestamps == sorted(timestamps)
+
+    def test_distinct_counts(self, generator, meter_data):
+        users = {row[0] for row in meter_data}
+        regions = {row[1] for row in meter_data}
+        days = {row[2] for row in meter_data}
+        assert len(users) == 100
+        assert len(regions) <= generator.config.num_regions
+        assert len(days) == 5
+
+    def test_users_have_fixed_region(self, meter_data):
+        regions_per_user = {}
+        for row in meter_data:
+            regions_per_user.setdefault(row[0], set()).add(row[1])
+        assert all(len(regions) == 1
+                   for regions in regions_per_user.values())
+
+    def test_deterministic(self, generator):
+        again = MeterDataGenerator(generator.config)
+        assert list(again.iter_rows())[:100] \
+            == list(generator.iter_rows())[:100]
+
+    def test_rows_for_days_matches_stream(self, generator, meter_data):
+        day_rows = generator.rows_for_days(2, 1)
+        per_day = 200
+        assert day_rows == meter_data[2 * per_day:3 * per_day]
+
+    def test_user_info(self, generator, meter_data):
+        archive = generator.user_info_rows()
+        assert len(archive) == 100
+        for row in archive[:20]:
+            USER_INFO_SCHEMA.validate_row(row)
+        # archive regions match the fact table's user regions
+        fact_region = {row[0]: row[1] for row in meter_data}
+        assert all(fact_region[user] == region
+                   for user, _n, region, _a, _t, _d in archive)
+
+    def test_selectivity_helper(self, generator):
+        low, high = generator.user_range_for_selectivity(0.05)
+        assert high - low == 5
+        assert 0 <= low < high <= 100
+
+    def test_data_scale(self, generator):
+        assert generator.config.data_scale \
+            == generator.config.paper_records / 1000
+
+
+@pytest.fixture(scope="module")
+def lineitems():
+    return list(LineitemGenerator(TPCHConfig(num_orders=500)).iter_rows())
+
+
+class TestTPCH:
+    def test_schema_conformance(self, lineitems):
+        for row in lineitems[:50]:
+            LINEITEM_SCHEMA.validate_row(row)
+
+    def test_dbgen_domains(self, lineitems):
+        for row in lineitems:
+            assert 1 <= row[4] <= 50              # quantity
+            assert 0.0 <= row[6] <= 0.10          # discount
+            assert 0.0 <= row[7] <= 0.08          # tax
+            assert row[8] in ("R", "A", "N")
+            assert row[9] in ("F", "O")
+
+    def test_lineitems_per_order(self, lineitems):
+        per_order = {}
+        for row in lineitems:
+            per_order[row[0]] = max(per_order.get(row[0], 0), row[3])
+        assert set(per_order) == set(range(1, 501))
+        assert all(1 <= n <= 7 for n in per_order.values())
+
+    def test_shipdate_not_sorted(self, lineitems):
+        """The paper's key observation: lineitem has no physical time
+        order, unlike meter data."""
+        dates = [row[10] for row in lineitems]
+        assert dates != sorted(dates)
+
+    def test_shipdate_domain(self, lineitems):
+        dates = [row[10] for row in lineitems]
+        assert min(dates) >= "1992-01-02"
+        assert max(dates) <= "1998-12-02"
+
+    def test_deterministic(self):
+        a = list(LineitemGenerator(TPCHConfig(num_orders=50)).iter_rows())
+        b = list(LineitemGenerator(TPCHConfig(num_orders=50)).iter_rows())
+        assert a == b
+
+    def test_q6_selectivity_near_two_percent(self, lineitems):
+        params = q6_parameters()
+        matches = [
+            row for row in lineitems
+            if params["date_lo"] <= row[10] < params["date_hi"]
+            and params["discount_lo"] <= row[6] <= params["discount_hi"]
+            and row[4] < params["quantity"]
+        ]
+        fraction = len(matches) / len(lineitems)
+        assert 0.005 < fraction < 0.05
+
+    def test_q6_sql_parses(self):
+        from repro.hiveql import parse
+        stmt = parse(q6_sql(q6_parameters()))
+        assert stmt.is_plain_aggregation

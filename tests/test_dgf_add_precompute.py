@@ -1,0 +1,90 @@
+"""Tests for dynamically adding pre-computed UDFs to a deployed DGFIndex
+(paper Section 4.1: "users can still add more UDFs dynamically")."""
+
+import pytest
+
+from repro.core.dgf.builder import add_precompute, append_with_dgf
+from repro.core.dgf.store import DgfStore
+from repro.errors import DGFError
+from repro.hive.session import QueryOptions
+from tests.conftest import SCAN
+
+
+MDRQ_MIN = ("SELECT min(powerconsumed) FROM meterdata "
+            "WHERE userid >= 25 AND userid < 75")
+
+
+class TestAddPrecompute:
+    def test_new_aggregate_becomes_header_path(self, dgf_session):
+        before = dgf_session.execute(MDRQ_MIN)
+        assert "mode=slices" in before.stats.index_used  # not precomputed
+
+        report = add_precompute(dgf_session, "meterdata", "dgf_idx",
+                                "min(powerconsumed)")
+        assert report.details["added"] == ["min(powerconsumed)"]
+
+        after = dgf_session.execute(MDRQ_MIN)
+        scan = dgf_session.execute(MDRQ_MIN, SCAN)
+        assert "mode=agg-headers" in after.stats.index_used
+        assert after.scalar() == scan.scalar()
+        assert after.stats.records_read < before.stats.records_read
+
+    def test_headers_match_recomputation(self, dgf_session):
+        add_precompute(dgf_session, "meterdata", "dgf_idx",
+                       "max(powerconsumed)")
+        store = DgfStore(dgf_session.kvstore, "meterdata", "dgf_idx")
+        table = dgf_session.metastore.get_table("meterdata")
+        from repro.storage.textfile import TextFileReader
+        for _key, value in list(store.iter_entries())[:20]:
+            rows = []
+            for location in value.locations:
+                with dgf_session.fs.open(location.file) as stream:
+                    reader = TextFileReader(stream, table.schema)
+                    rows.extend(r for _, r in reader.iter_rows(
+                        location.start, location.end))
+            assert value.header["max(powerconsumed)"] \
+                == pytest.approx(max(r[3] for r in rows))
+
+    def test_existing_headers_untouched(self, dgf_session):
+        store = DgfStore(dgf_session.kvstore, "meterdata", "dgf_idx")
+        before = {k: dict(v.header) for k, v in store.iter_entries()}
+        add_precompute(dgf_session, "meterdata", "dgf_idx",
+                       "min(powerconsumed)")
+        for key, value in store.iter_entries():
+            for header_key, state in before[key].items():
+                assert value.header[header_key] == state
+
+    def test_duplicate_spec_is_noop(self, dgf_session):
+        report = add_precompute(dgf_session, "meterdata", "dgf_idx",
+                                "sum(powerconsumed)")
+        assert report.details["added"] == []
+        assert report.build_time.total == 0.0
+
+    def test_appends_after_add_include_new_udf(self, dgf_session):
+        add_precompute(dgf_session, "meterdata", "dgf_idx",
+                       "min(powerconsumed)")
+        append_with_dgf(dgf_session, "meterdata", "dgf_idx",
+                        [(5, 1, "2012-12-09", 0.01)])
+        result = dgf_session.execute(
+            "SELECT min(powerconsumed) FROM meterdata "
+            "WHERE userid >= 0 AND userid < 200")
+        assert "mode=agg-headers" in result.stats.index_used
+        assert result.scalar() == pytest.approx(0.01)
+
+    def test_requires_built_index(self, meter_session):
+        meter_session.execute(
+            "CREATE INDEX d ON TABLE meterdata(userid) AS 'dgf' "
+            "WITH DEFERRED REBUILD IDXPROPERTIES ('userid'='0_25')")
+        with pytest.raises(DGFError):
+            add_precompute(meter_session, "meterdata", "d", "count(*)")
+
+    def test_non_additive_rejected(self, dgf_session):
+        with pytest.raises(DGFError):
+            add_precompute(dgf_session, "meterdata", "dgf_idx",
+                           "count(DISTINCT userid)")
+
+    def test_build_cost_accounted(self, dgf_session):
+        report = add_precompute(dgf_session, "meterdata", "dgf_idx",
+                                "min(powerconsumed)")
+        assert report.job_stats.map_input_records == 1200  # full pass
+        assert report.build_time.total > 0

@@ -1,0 +1,130 @@
+"""Tests for the inner/boundary grid decomposition (Algorithm 3's core)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dgf.grid import estimate_cells, search_grid
+from repro.core.dgf.policy import DimensionPolicy, SplittingPolicy
+from repro.hiveql.predicates import Interval
+from repro.storage.schema import DataType
+
+
+@pytest.fixture
+def policy():
+    return SplittingPolicy([
+        DimensionPolicy(name="A", dtype=DataType.BIGINT, origin=1,
+                        interval=3),
+        DimensionPolicy(name="B", dtype=DataType.BIGINT, origin=11,
+                        interval=2),
+    ])
+
+
+#: bounds matching the paper's Figure 5 data space (A in 1..13, B in 11..19)
+PAPER_BOUNDS = {"a": (0, 3), "b": (0, 3)}
+
+
+class TestPaperExample:
+    def test_listing2_query_region(self, policy):
+        """Listing 2 / Figure 7: A in [5, 12), B in [12, 16).  The inner
+        region is {7 <= A < 10, 13 <= B < 15} = GFU '7_13'; everything else
+        overlapping is boundary."""
+        intervals = {"a": Interval(low=5, high=12),
+                     "b": Interval(low=12, high=16)}
+        result = search_grid(policy, intervals, PAPER_BOUNDS)
+        assert result.inner_keys == ["7_13"]
+        assert set(result.boundary_keys) == {
+            "4_11", "4_13", "4_15", "7_11", "7_15",
+            "10_11", "10_13", "10_15"}
+
+    def test_point_query_has_no_inner(self, policy):
+        """Paper: 'In point query case, there is no inner GFU'."""
+        intervals = {"a": Interval.point(8), "b": Interval.point(14)}
+        result = search_grid(policy, intervals, PAPER_BOUNDS)
+        assert result.inner_keys == []
+        assert result.boundary_keys == ["7_13"]
+
+    def test_cell_aligned_query_is_all_inner(self, policy):
+        intervals = {"a": Interval(low=4, high=10),
+                     "b": Interval(low=13, high=15)}
+        result = search_grid(policy, intervals, PAPER_BOUNDS)
+        assert sorted(result.inner_keys) == ["4_13", "7_13"]
+        assert result.boundary_keys == []
+
+
+class TestMissingDimensions:
+    def test_unconstrained_dimension_spans_bounds(self, policy):
+        intervals = {"a": Interval(low=4, high=10), "b": None}
+        result = search_grid(policy, intervals, PAPER_BOUNDS)
+        # a-cells 1..2 fully covered; b unconstrained -> covered everywhere
+        assert len(result.inner_keys) == 2 * 4
+        assert result.boundary_keys == []
+
+    def test_bounds_clamp_the_search(self, policy):
+        intervals = {"a": Interval(low=-100, high=100), "b": None}
+        result = search_grid(policy, intervals, {"a": (1, 2), "b": (0, 0)})
+        assert result.num_cells == 2
+
+
+class TestEdgeCases:
+    def test_empty_interval(self, policy):
+        intervals = {"a": Interval(low=9, high=5), "b": None}
+        result = search_grid(policy, intervals, PAPER_BOUNDS)
+        assert result.empty
+        assert result.all_keys == []
+
+    def test_region_outside_bounds(self, policy):
+        intervals = {"a": Interval(low=1000), "b": None}
+        assert search_grid(policy, intervals, PAPER_BOUNDS).empty
+
+    def test_force_all_boundary(self, policy):
+        """Non-aggregation queries treat every query cell as boundary."""
+        intervals = {"a": Interval(low=4, high=10),
+                     "b": Interval(low=13, high=15)}
+        result = search_grid(policy, intervals, PAPER_BOUNDS,
+                             force_all_boundary=True)
+        assert result.inner_keys == []
+        assert sorted(result.boundary_keys) == ["4_13", "7_13"]
+
+    def test_estimate_cells(self, policy):
+        intervals = {"a": Interval(low=5, high=12),
+                     "b": Interval(low=12, high=16)}
+        assert estimate_cells(policy, intervals, PAPER_BOUNDS) == 9
+        assert estimate_cells(policy, {"a": Interval(low=99, high=1),
+                                       "b": None}, PAPER_BOUNDS) == 0
+
+
+@settings(max_examples=80, deadline=None)
+@given(a_lo=st.integers(0, 30), a_width=st.integers(0, 20),
+       b_lo=st.integers(0, 30), b_width=st.integers(0, 20),
+       value_a=st.integers(0, 40), value_b=st.integers(0, 40))
+def test_property_decomposition_is_sound(a_lo, a_width, b_lo,
+                                         b_width, value_a, value_b):
+    policy = SplittingPolicy([
+        DimensionPolicy(name="A", dtype=DataType.BIGINT, origin=1,
+                        interval=3),
+        DimensionPolicy(name="B", dtype=DataType.BIGINT, origin=11,
+                        interval=2),
+    ])
+    """For any query box and any point: if the point matches the predicate
+    its cell is inner or boundary; if its cell is inner, the point matches.
+    This is exactly the invariant that makes answering the inner region
+    from pre-computed headers correct."""
+    intervals = {
+        "a": Interval(low=a_lo, high=a_lo + a_width),
+        "b": Interval(low=b_lo, high=b_lo + b_width),
+    }
+    bounds = {"a": (-5, 20), "b": (-10, 20)}
+    result = search_grid(policy, intervals, bounds)
+    key = policy.key_of_row((value_a, value_b))
+    matches = (intervals["a"].contains(value_a)
+               and intervals["b"].contains(value_b))
+    in_bounds = all(
+        lo <= dim.cell_of(v) <= hi
+        for dim, v, (lo, hi) in zip(
+            policy.dimensions, (value_a, value_b),
+            (bounds["a"], bounds["b"])))
+    if matches and in_bounds:
+        assert key in result.inner_keys or key in result.boundary_keys
+    if key in result.inner_keys:
+        assert matches

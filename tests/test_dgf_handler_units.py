@@ -1,0 +1,119 @@
+"""Unit tests for DgfIndexHandler internals: header merging, avg
+derivation, and the aggregation-path applicability rules."""
+
+import pytest
+
+from repro.core.dgf.gfu import GFUValue
+from repro.core.dgf.handler import (DgfIndexHandler, _avg_components,
+                                    merge_function_for)
+from repro.core.dgf.policy import DimensionPolicy, SplittingPolicy
+from repro.errors import DGFError
+from repro.hive.indexhandler import QueryIndexContext
+from repro.hiveql.predicates import Interval, RangeExtraction
+from repro.storage.schema import DataType
+
+
+class TestMergeFunctions:
+    def test_known_prefixes(self):
+        assert merge_function_for("sum(v)").name == "sum"
+        assert merge_function_for("count(*)").name == "count"
+        assert merge_function_for("min(v)").name == "min"
+        assert merge_function_for("max(v)").name == "max"
+
+    def test_unknown(self):
+        with pytest.raises(DGFError):
+            merge_function_for("median(v)")
+
+    def test_avg_components(self):
+        assert _avg_components("avg(power)") == ("sum(power)", "count(*)")
+        assert _avg_components("sum(power)") is None
+
+
+def context(intervals, exact=True, agg_keys=("sum(v)",),
+            plain=True, precompute=True):
+    ranges = RangeExtraction(intervals=intervals, exact=exact,
+                             residual=[] if exact else ["x"])
+    return QueryIndexContext(ranges=ranges, agg_keys=list(agg_keys),
+                             is_plain_aggregation=plain,
+                             use_precompute=precompute)
+
+
+@pytest.fixture
+def policy():
+    return SplittingPolicy([
+        DimensionPolicy(name="a", dtype=DataType.BIGINT, origin=0,
+                        interval=10)])
+
+
+class TestAggregationPathRules:
+    def test_applies(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0, high=100)})
+        assert handler._aggregation_path_applies(ctx, policy, {"sum(v)"})
+
+    def test_requires_plain_aggregation(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0)}, plain=False)
+        assert not handler._aggregation_path_applies(ctx, policy,
+                                                     {"sum(v)"})
+
+    def test_requires_precompute_enabled(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0)}, precompute=False)
+        assert not handler._aggregation_path_applies(ctx, policy,
+                                                     {"sum(v)"})
+
+    def test_requires_exact_ranges(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0)}, exact=False)
+        assert not handler._aggregation_path_applies(ctx, policy,
+                                                     {"sum(v)"})
+
+    def test_rejects_interval_on_non_index_column(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0), "other": Interval(low=1)})
+        assert not handler._aggregation_path_applies(ctx, policy,
+                                                     {"sum(v)"})
+
+    def test_rejects_unprecomputed_aggregate(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0)}, agg_keys=["max(v)"])
+        assert not handler._aggregation_path_applies(ctx, policy,
+                                                     {"sum(v)"})
+
+    def test_avg_derivable(self, policy):
+        handler = DgfIndexHandler()
+        ctx = context({"a": Interval(low=0)}, agg_keys=["avg(v)"])
+        assert handler._aggregation_path_applies(
+            ctx, policy, {"sum(v)", "count(*)"})
+        assert not handler._aggregation_path_applies(
+            ctx, policy, {"sum(v)"})  # missing count(*)
+
+
+class TestHeaderMerging:
+    def test_merges_across_cells(self):
+        handler = DgfIndexHandler()
+        values = [GFUValue(header={"sum(v)": 1.5, "count(*)": 2}),
+                  GFUValue(header={"sum(v)": 2.5, "count(*)": 3})]
+        merged = handler._merge_headers(["sum(v)", "count(*)"], values)
+        assert merged["sum(v)"] == 4.0
+        assert merged["count(*)"] == 5
+
+    def test_missing_headers_skipped(self):
+        handler = DgfIndexHandler()
+        values = [GFUValue(header={"sum(v)": 1.0}),
+                  GFUValue(header={})]
+        merged = handler._merge_headers(["sum(v)"], values)
+        assert merged["sum(v)"] == 1.0
+
+    def test_empty_values_yield_empty(self):
+        handler = DgfIndexHandler()
+        assert handler._merge_headers(["sum(v)"], []) == {}
+
+    def test_avg_state_construction(self):
+        handler = DgfIndexHandler()
+        values = [GFUValue(header={"sum(v)": 6.0, "count(*)": 2}),
+                  GFUValue(header={"sum(v)": 4.0, "count(*)": 2})]
+        merged = handler._merge_headers(["avg(v)"], values)
+        total, count = merged["avg(v)"]
+        assert total == 10.0 and count == 4  # finalizes to 2.5

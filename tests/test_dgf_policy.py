@@ -1,0 +1,218 @@
+"""Tests for splitting policies and grid geometry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dgf.policy import DimensionPolicy, SplittingPolicy
+from repro.errors import DGFError
+from repro.hiveql.predicates import Interval
+from repro.storage.schema import DataType, Schema
+
+
+def numeric_dim(origin=0, interval=10, dtype=DataType.BIGINT, name="u"):
+    return DimensionPolicy(name=name, dtype=dtype, origin=origin,
+                           interval=interval)
+
+
+def date_dim(origin="2012-12-01", interval=1, name="ts"):
+    return DimensionPolicy(name=name, dtype=DataType.DATE, origin=origin,
+                           interval=interval)
+
+
+class TestDimensionPolicy:
+    def test_cell_of_numeric(self):
+        dim = numeric_dim(origin=1, interval=3)
+        assert dim.cell_of(1) == 0
+        assert dim.cell_of(3) == 0
+        assert dim.cell_of(4) == 1
+        assert dim.cell_of(0) == -1
+
+    def test_standardize_matches_paper_example(self):
+        """Figure 6: dimension A with origin 1, interval 3: value 7 -> 7,
+        value 9 -> 7 (cell [7, 10))."""
+        dim = numeric_dim(origin=1, interval=3, name="A")
+        assert dim.standardize(7) == 7
+        assert dim.standardize(9) == 7
+        assert dim.standardize(8) == 7
+        assert dim.standardize(12) == 10
+
+    def test_cell_bounds(self):
+        dim = numeric_dim(origin=0, interval=10)
+        assert dim.cell_start(2) == 20
+        assert dim.cell_end(2) == 30
+
+    def test_float_dimension(self):
+        dim = DimensionPolicy(name="d", dtype=DataType.DOUBLE, origin=0,
+                              interval=0.01)
+        assert dim.cell_of(0.07) == 7
+        assert dim.cell_of(0.0799) == 7
+        assert dim.cell_of(0.08) == 8
+
+    def test_date_dimension(self):
+        dim = date_dim(interval=2)
+        assert dim.cell_of("2012-12-01") == 0
+        assert dim.cell_of("2012-12-02") == 0
+        assert dim.cell_of("2012-12-03") == 1
+        assert dim.cell_start(1) == "2012-12-03"
+        assert dim.standardize("2012-12-04") == "2012-12-03"
+
+    def test_labels(self):
+        assert numeric_dim(origin=1, interval=3).label(2) == "7"
+        assert date_dim().label(3) == "2012-12-04"
+        dim = DimensionPolicy(name="d", dtype=DataType.DOUBLE, origin=0,
+                              interval=0.5)
+        assert dim.label(1) == "0.5"
+        assert dim.label(2) == "1"  # integral floats render as ints
+
+    def test_parse_label_roundtrip(self):
+        for dim in (numeric_dim(origin=1, interval=3), date_dim(),
+                    DimensionPolicy(name="d", dtype=DataType.DOUBLE,
+                                    origin=0, interval=0.25)):
+            for k in (0, 1, 5):
+                label = dim.label(k)
+                assert dim.cell_of(dim.parse_label(label)) == k
+
+    def test_invalid_interval(self):
+        with pytest.raises(DGFError):
+            numeric_dim(interval=0)
+        with pytest.raises(DGFError):
+            numeric_dim(interval=-1)
+
+    def test_discrete_needs_integer_interval(self):
+        with pytest.raises(DGFError):
+            DimensionPolicy(name="u", dtype=DataType.BIGINT, origin=0,
+                            interval=2.5)
+
+    def test_bad_date_origin(self):
+        with pytest.raises(DGFError):
+            date_dim(origin="12/01/2012")
+
+
+class TestCoverage:
+    def test_continuous_coverage(self):
+        dim = DimensionPolicy(name="d", dtype=DataType.DOUBLE, origin=0,
+                              interval=10)
+        covering = Interval(low=0, high=30)
+        assert dim.covers_cell(covering, 1)       # [10, 20) inside [0, 30)
+        assert not dim.covers_cell(Interval(low=15, high=30), 1)
+
+    def test_discrete_equality_covers_unit_cell(self):
+        """``regionid = 5`` with interval 1 covers the whole cell — the
+        mechanism behind Figure 17's precompute win."""
+        dim = numeric_dim(origin=0, interval=1, dtype=DataType.INT)
+        assert dim.covers_cell(Interval.point(5), 5)
+
+    def test_discrete_coverage_with_wide_cells(self):
+        dim = numeric_dim(origin=0, interval=10, dtype=DataType.BIGINT)
+        assert dim.covers_cell(Interval(low=10, high=19,
+                                        high_inclusive=True), 1)
+        assert not dim.covers_cell(Interval(low=10, high=19), 1)
+
+    def test_date_equality_covers_daily_cell(self):
+        dim = date_dim(interval=1)
+        assert dim.covers_cell(Interval.point("2012-12-30"),
+                               dim.cell_of("2012-12-30"))
+
+    def test_unconstrained_dimension_covers(self):
+        assert numeric_dim().covers_cell(None, 3)
+
+    def test_overlap(self):
+        dim = numeric_dim(origin=0, interval=10)
+        assert dim.overlaps_cell(Interval(low=25, high=26), 2)
+        assert not dim.overlaps_cell(Interval(low=30, high=40), 2)
+
+    def test_cell_span_clamps_to_bounds(self):
+        dim = numeric_dim(origin=0, interval=10)
+        assert dim.cell_span(Interval(low=-100, high=1000), 0, 5) == (0, 5)
+        assert dim.cell_span(Interval(low=25, high=47), 0, 5) == (2, 4)
+        assert dim.cell_span(None, 1, 4) == (1, 4)
+
+    def test_cell_span_exclusive_boundary_high(self):
+        dim = numeric_dim(origin=0, interval=10)
+        # high = 30 exclusive sits exactly on a boundary: cell 3 excluded
+        assert dim.cell_span(Interval(low=0, high=30), 0, 9) == (0, 2)
+        assert dim.cell_span(Interval(low=0, high=30, high_inclusive=True),
+                             0, 9) == (0, 3)
+
+    def test_cell_span_empty(self):
+        dim = numeric_dim(origin=0, interval=10)
+        assert dim.cell_span(Interval(low=50, high=40), 0, 9) is None
+        assert dim.cell_span(Interval(low=200), 0, 9) is None
+
+
+class TestSplittingPolicy:
+    @pytest.fixture
+    def schema(self):
+        return Schema.of(("A", DataType.BIGINT), ("B", DataType.INT),
+                         ("ts", DataType.DATE))
+
+    def test_from_properties_listing3(self, schema):
+        policy = SplittingPolicy.from_properties(
+            schema, ["A", "B"], {"A": "1_3", "B": "11_2"})
+        assert policy.dimension("a").origin == 1
+        assert policy.dimension("b").interval == 2
+
+    def test_missing_spec(self, schema):
+        with pytest.raises(DGFError):
+            SplittingPolicy.from_properties(schema, ["A", "B"],
+                                            {"A": "1_3"})
+
+    def test_date_spec(self, schema):
+        policy = SplittingPolicy.from_properties(
+            schema, ["ts"], {"ts": "2012-12-01_7d"})
+        assert policy.dimension("ts").interval == 7
+
+    def test_date_spec_requires_unit(self, schema):
+        with pytest.raises(DGFError):
+            SplittingPolicy.from_properties(schema, ["ts"],
+                                            {"ts": "2012-12-01_7"})
+
+    def test_bad_spec_format(self, schema):
+        with pytest.raises(DGFError):
+            SplittingPolicy.from_properties(schema, ["A"], {"A": "nope"})
+
+    def test_key_of_row_matches_paper(self, schema):
+        """Figure 5's highlighted GFU: record (9, 14) with A='1_3',
+        B='11_2' lives in GFU '7_13'."""
+        policy = SplittingPolicy.from_properties(
+            schema, ["A", "B"], {"A": "1_3", "B": "11_2"})
+        assert policy.key_of_row((9, 14)) == "7_13"
+        assert policy.key_of_row((8, 13)) == "7_13"
+        assert policy.key_of_row((1, 14)) == "1_13"
+
+    def test_duplicate_dimensions_rejected(self):
+        dim = numeric_dim()
+        with pytest.raises(DGFError):
+            SplittingPolicy([dim, dim])
+
+    def test_serialization_roundtrip(self, schema):
+        policy = SplittingPolicy.from_properties(
+            schema, ["A", "ts"], {"A": "0_5", "ts": "2012-12-01_2d"})
+        again = SplittingPolicy.from_dict(policy.to_dict())
+        assert again.names == policy.names
+        assert again.key_of_row((7, "2012-12-04")) \
+            == policy.key_of_row((7, "2012-12-04"))
+
+
+@settings(max_examples=100, deadline=None)
+@given(origin=st.integers(-100, 100), interval=st.integers(1, 50),
+       value=st.integers(-1000, 1000))
+def test_property_cell_contains_its_values(origin, interval, value):
+    """Every value lands in the cell whose [start, end) range contains it."""
+    dim = numeric_dim(origin=origin, interval=interval)
+    k = dim.cell_of(value)
+    assert dim.cell_start(k) <= value < dim.cell_end(k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(origin=st.floats(-10, 10, allow_nan=False),
+       interval=st.floats(0.01, 5.0, allow_nan=False),
+       value=st.floats(-100, 100, allow_nan=False))
+def test_property_float_cells_consistent(origin, interval, value):
+    dim = DimensionPolicy(name="d", dtype=DataType.DOUBLE, origin=origin,
+                          interval=interval)
+    k = dim.cell_of(value)
+    # allow the epsilon guard at boundaries
+    assert dim.cell_start(k) <= value + 1e-6
+    assert value - 1e-6 < dim.cell_end(k)

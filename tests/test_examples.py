@@ -1,0 +1,42 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The two heaviest examples (tpch_q6, policy_tuning) are exercised at their
+native scale only here, so this module dominates suite wall-time; each
+test simply requires a clean exit.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=600)
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "smart_grid_analytics.py",
+    "workflow_migration.py",
+])
+def test_fast_examples(script):
+    result = run_example(script)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # they all narrate what they do
+
+
+def test_quickstart_outputs_answer(capsys):
+    result = run_example("quickstart.py")
+    assert "records read: 0" in result.stdout  # header-path answer
+    assert "EXPLAIN" in result.stdout or "access path" in result.stdout
+
+
+def test_workflow_example_exports_statistics():
+    result = run_example("workflow_migration.py")
+    assert "exported statistics file" in result.stdout

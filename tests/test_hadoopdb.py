@@ -1,0 +1,167 @@
+"""Tests for the HadoopDB baseline: chunk databases, partitioning,
+pushdown queries and the time model."""
+
+import pytest
+
+from repro.data.meter import METER_SCHEMA
+from repro.errors import HadoopDBError
+from repro.hadoopdb.engine import HadoopDB, HadoopDBConfig
+from repro.hadoopdb.localdb import LocalDB
+from repro.hiveql.predicates import Interval
+from repro.storage.schema import DataType, Schema
+from tests.conftest import meter_rows
+
+SCHEMA = Schema.of(("userid", DataType.BIGINT), ("regionid", DataType.INT),
+                   ("ts", DataType.DATE),
+                   ("powerconsumed", DataType.DOUBLE))
+
+
+def loaded_db(rows=None):
+    db = LocalDB(SCHEMA, ["userid", "regionid", "ts"], row_bytes=100)
+    db.bulk_load(rows if rows is not None else meter_rows(num_users=50,
+                                                          num_days=4))
+    db.build_index()
+    return db
+
+
+class TestLocalDB:
+    def test_select_by_leading_column(self):
+        db = loaded_db()
+        rows, stats = db.select({"userid": Interval(low=10, high=12)})
+        assert all(10 <= r[0] < 12 for r in rows)
+        assert len(rows) == 2 * 4  # two users x four days
+        assert stats.used_index and not stats.seq_scan
+        assert stats.rows_matched == len(rows)
+
+    def test_residual_columns_filtered(self):
+        db = loaded_db()
+        rows, _ = db.select({"userid": Interval(low=0, high=50),
+                             "ts": Interval.point("2012-12-02")})
+        assert all(r[2] == "2012-12-02" for r in rows)
+
+    def test_no_leading_interval_seq_scans(self):
+        db = loaded_db()
+        _rows, stats = db.select({"ts": Interval.point("2012-12-01")})
+        assert stats.seq_scan
+        assert stats.pages_touched == db.num_pages
+
+    def test_wide_range_prefers_seq_scan(self):
+        db = loaded_db()
+        _rows, stats = db.select({"userid": Interval(low=0, high=49)})
+        assert stats.seq_scan  # > 75% of rows qualify
+
+    def test_page_accounting_scattered(self):
+        """UserId-selected rows are scattered over time-ordered pages, so
+        touched pages are ~min(matches, pages)."""
+        db = loaded_db()
+        _rows, stats = db.select({"userid": Interval(low=5, high=7)})
+        assert 1 <= stats.pages_touched <= min(stats.rows_matched + 1,
+                                               db.num_pages)
+
+    def test_query_before_index_build_fails(self):
+        db = LocalDB(SCHEMA, ["userid"])
+        db.bulk_load([(1, 1, "2012-12-01", 1.0)])
+        with pytest.raises(HadoopDBError):
+            db.select({"userid": Interval.point(1)})
+
+    def test_index_range_inclusiveness(self):
+        db = loaded_db()
+        closed, _ = db.select({"userid": Interval(low=10, high=12,
+                                                  high_inclusive=True)})
+        half_open, _ = db.select({"userid": Interval(low=10, high=12)})
+        assert len(closed) == len(half_open) + 4  # one extra user x 4 days
+
+
+@pytest.fixture
+def cluster():
+    config = HadoopDBConfig(num_nodes=4, chunks_per_node=2)
+    db = HadoopDB(SCHEMA, ["userid", "regionid", "ts"],
+                  partition_column="userid", config=config,
+                  data_scale=1e5)
+    db.load(meter_rows(num_users=100, num_days=5))
+    db.load_archive([(u, f"user{u}") for u in range(100)], key_position=0)
+    return db
+
+
+class TestEngine:
+    def test_load_partitions_everything(self, cluster):
+        assert cluster.total_rows == 500
+
+    def test_same_user_same_chunk(self, cluster):
+        """GlobalHasher/LocalHasher keep one user's rows together."""
+        locations = {}
+        for node, chunk_dbs in enumerate(cluster._chunks):
+            for chunk, db in enumerate(chunk_dbs):
+                for row in db._rows:
+                    locations.setdefault(row[0], set()).add((node, chunk))
+        assert all(len(spots) == 1 for spots in locations.values())
+
+    def test_aggregate_matches_direct_sum(self, cluster):
+        rows = meter_rows(num_users=100, num_days=5)
+        expected = sum(r[3] for r in rows if 10 <= r[0] < 40)
+        result = cluster.aggregate(
+            {"userid": Interval(low=10, high=40)},
+            value_position=3)
+        assert result.rows[0][0] == pytest.approx(expected)
+
+    def test_aggregate_empty(self, cluster):
+        result = cluster.aggregate({"userid": Interval(low=10**6)},
+                                   value_position=3)
+        assert result.rows == [(None,)]
+
+    def test_group_by(self, cluster):
+        result = cluster.group_by(
+            {"userid": Interval(low=0, high=100)},
+            group_position=2, value_position=3)
+        assert len(result.rows) == 5  # five days
+        rows = meter_rows(num_users=100, num_days=5)
+        expected = sum(r[3] for r in rows)
+        assert sum(v for _k, v in result.rows) == pytest.approx(expected)
+
+    def test_join_with_replicated_archive(self, cluster):
+        result = cluster.join(
+            {"userid": Interval(low=3, high=5),
+             "ts": Interval.point("2012-12-02")},
+            key_position=0,
+            project=lambda fact, user: (user[1], fact[3]))
+        assert sorted(name for name, _v in result.rows) \
+            == ["user3", "user4"]
+
+    def test_query_before_load_fails(self):
+        db = HadoopDB(SCHEMA, ["userid"], partition_column="userid")
+        with pytest.raises(HadoopDBError):
+            db.aggregate({"userid": Interval.point(1)}, value_position=3)
+
+
+class TestTimeModel:
+    def test_time_grows_with_selectivity(self, cluster):
+        point = cluster.aggregate({"userid": Interval.point(5)},
+                                  value_position=3)
+        narrow = cluster.aggregate({"userid": Interval(low=0, high=10)},
+                                   value_position=3)
+        wide = cluster.aggregate({"userid": Interval(low=0, high=30)},
+                                 value_position=3)
+        assert point.time.total <= narrow.time.total <= wide.time.total
+
+    def test_collect_launch_in_index_component(self, cluster):
+        result = cluster.aggregate({"userid": Interval.point(5)},
+                                   value_position=3)
+        assert result.time.read_index_and_other \
+            == cluster.config.collect_launch_seconds
+
+    def test_seq_scan_bounded_by_table_size(self, cluster):
+        """Even a match-everything query never exceeds reading every page
+        plus CPU over every row."""
+        result = cluster.aggregate({"userid": Interval(low=0, high=1000)},
+                                   value_position=3)
+        config = cluster.config
+        node_rows = max(s.rows_total for s in result.per_node_stats) \
+            * cluster.data_scale
+        ceiling = (node_rows / config.rows_per_page * 8192
+                   / config.page_read_bandwidth
+                   + node_rows * config.cpu_seconds_per_row
+                   / config.cores_per_node
+                   + config.paper_chunks_per_node
+                   * config.chunk_overhead_seconds
+                   + config.collect_launch_seconds)
+        assert result.time.total <= ceiling * 1.01

@@ -1,0 +1,205 @@
+"""Tests for the simulated HDFS: namespace, blocks, I/O accounting."""
+
+import pytest
+
+from repro.errors import (FileAlreadyExists, FileNotFoundInHDFS,
+                          HDFSError, IsADirectory, NotADirectory)
+from repro.hdfs.filesystem import HDFS
+from repro.hdfs.namenode import METADATA_BYTES_PER_OBJECT, NameNode
+
+
+class TestNameNode:
+    def test_mkdirs_creates_parents(self):
+        nn = NameNode()
+        nn.mkdirs("/a/b/c")
+        assert nn.exists("/a")
+        assert nn.exists("/a/b/c")
+        assert nn.num_dirs == 4  # root + a + b + c
+
+    def test_mkdirs_idempotent(self):
+        nn = NameNode()
+        nn.mkdirs("/a/b")
+        nn.mkdirs("/a/b")
+        assert nn.num_dirs == 3
+
+    def test_create_file(self):
+        nn = NameNode()
+        nn.create_file("/dir/file")
+        assert nn.exists("/dir/file")
+        assert nn.num_files == 1
+
+    def test_create_existing_fails(self):
+        nn = NameNode()
+        nn.create_file("/f")
+        with pytest.raises(FileAlreadyExists):
+            nn.create_file("/f")
+
+    def test_create_overwrite(self):
+        nn = NameNode()
+        nn.create_file("/f")
+        nn.create_file("/f", overwrite=True)
+        assert nn.num_files == 1
+
+    def test_create_over_directory_fails(self):
+        nn = NameNode()
+        nn.mkdirs("/d")
+        with pytest.raises(IsADirectory):
+            nn.create_file("/d")
+
+    def test_file_as_parent_fails(self):
+        nn = NameNode()
+        nn.create_file("/f")
+        with pytest.raises(NotADirectory):
+            nn.mkdirs("/f/sub")
+
+    def test_relative_path_rejected(self):
+        nn = NameNode()
+        with pytest.raises(FileNotFoundInHDFS):
+            nn.mkdirs("relative/path")
+
+    def test_get_missing_raises(self):
+        nn = NameNode()
+        with pytest.raises(FileNotFoundInHDFS):
+            nn.get("/nope")
+
+    def test_delete_file(self):
+        nn = NameNode()
+        nn.create_file("/f")
+        nn.delete("/f")
+        assert not nn.exists("/f")
+        assert nn.num_files == 0
+
+    def test_delete_nonempty_dir_needs_recursive(self):
+        nn = NameNode()
+        nn.create_file("/d/f")
+        with pytest.raises(NotADirectory):
+            nn.delete("/d")
+        nn.delete("/d", recursive=True)
+        assert not nn.exists("/d")
+        assert nn.num_files == 0
+
+    def test_list_dir_sorted(self):
+        nn = NameNode()
+        nn.create_file("/d/b")
+        nn.create_file("/d/a")
+        assert nn.list_dir("/d") == ["a", "b"]
+
+    def test_walk_files(self):
+        nn = NameNode()
+        nn.create_file("/d/x/1")
+        nn.create_file("/d/2")
+        assert list(nn.walk_files("/d")) == ["/d/2", "/d/x/1"]
+
+    def test_metadata_memory_rule(self):
+        nn = NameNode()
+        for i in range(10):
+            nn.mkdirs(f"/p/dir{i}")
+        objects = nn.num_dirs + nn.num_files + nn.num_blocks
+        assert nn.metadata_memory_bytes() == \
+            objects * METADATA_BYTES_PER_OBJECT
+
+    def test_partition_explosion_projection(self):
+        """The paper's example: 1M directories -> ~143 MB of heap."""
+        assert 1_000_000 * METADATA_BYTES_PER_OBJECT \
+            == pytest.approx(143 * 1024 * 1024, rel=0.05)
+
+
+class TestHDFS:
+    def test_roundtrip(self, fs):
+        fs.write_bytes("/f", b"hello world")
+        assert fs.read_bytes("/f") == b"hello world"
+
+    def test_multi_block_file(self, fs):
+        data = bytes(range(256)) * 20  # 5120 bytes > 5 blocks of 1024
+        fs.write_bytes("/big", data)
+        status = fs.status("/big")
+        assert status.length == len(data)
+        assert len(status.blocks) == 5
+        assert fs.read_bytes("/big") == data
+
+    def test_pread_within_and_across_blocks(self, fs):
+        data = b"".join(bytes([i % 251]) * 1 for i in range(4000))
+        fs.write_bytes("/f", data)
+        with fs.open("/f") as reader:
+            assert reader.pread(100, 50) == data[100:150]
+            assert reader.pread(1000, 100) == data[1000:1100]  # crosses
+            assert reader.pread(3990, 100) == data[3990:]  # clipped at EOF
+            assert reader.pread(9999, 10) == b""
+
+    def test_sequential_read_and_seek(self, fs):
+        fs.write_bytes("/f", b"0123456789")
+        with fs.open("/f") as reader:
+            assert reader.read(4) == b"0123"
+            assert reader.tell() == 4
+            reader.seek(8)
+            assert reader.read() == b"89"
+
+    def test_replication_places_copies(self, fs):
+        fs.write_bytes("/f", b"x" * 3000)
+        status = fs.status("/f")
+        for block in status.blocks:
+            assert len(block.datanodes) == fs.replication
+            for node in block.datanodes:
+                assert fs.datanodes[node].has_block(block.block_id)
+
+    def test_delete_frees_datanode_space(self, fs):
+        fs.write_bytes("/f", b"x" * 3000)
+        used_before = sum(dn.used_bytes for dn in fs.datanodes)
+        assert used_before > 0
+        fs.delete("/f")
+        assert sum(dn.used_bytes for dn in fs.datanodes) == 0
+
+    def test_io_stats_reads(self, fs):
+        fs.write_bytes("/f", b"x" * 2048)
+        before = fs.io.snapshot()
+        fs.read_bytes("/f")
+        delta = fs.io.delta(before)
+        assert delta.bytes_read == 2048
+
+    def test_io_stats_seek_accounting(self, fs):
+        fs.write_bytes("/f", b"x" * 2048)
+        with fs.open("/f") as reader:
+            reader.pread(0, 10)
+            before = fs.io.seeks
+            reader.pread(1000, 10)  # non-contiguous -> seek
+            assert fs.io.seeks == before + 1
+            after = fs.io.seeks
+            reader.pread(1010, 10)  # contiguous -> no seek
+            assert fs.io.seeks == after
+
+    def test_open_directory_fails(self, fs):
+        fs.mkdirs("/d")
+        with pytest.raises(IsADirectory):
+            fs.open("/d")
+
+    def test_write_to_closed_writer_fails(self, fs):
+        writer = fs.create("/f")
+        writer.close()
+        with pytest.raises(HDFSError):
+            writer.write(b"x")
+
+    def test_list_files_recursive(self, fs):
+        fs.write_bytes("/t/a/f1", b"1")
+        fs.write_bytes("/t/f2", b"2")
+        assert fs.list_files("/t") == ["/t/a/f1", "/t/f2"]
+
+    def test_total_size(self, fs):
+        fs.write_bytes("/t/f1", b"123")
+        fs.write_bytes("/t/f2", b"4567")
+        assert fs.total_size("/t") == 7
+
+    def test_writer_pos_tracks_offsets(self, fs):
+        with fs.create("/f") as writer:
+            assert writer.pos == 0
+            writer.write(b"abc")
+            assert writer.pos == 3
+            writer.write(b"x" * 2000)
+            assert writer.pos == 2003
+
+    def test_needs_at_least_one_datanode(self):
+        with pytest.raises(HDFSError):
+            HDFS(num_datanodes=0)
+
+    def test_replication_capped_by_datanodes(self):
+        fs = HDFS(num_datanodes=1, replication=3)
+        assert fs.replication == 1

@@ -1,0 +1,140 @@
+"""Tests for the aggregate framework, including the additivity property
+DGFIndex headers depend on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SemanticError
+from repro.hive.aggregates import (AvgAgg, CompiledAggregate, CountAgg,
+                                   CountDistinctAgg, MaxAgg, MinAgg, SumAgg,
+                                   canonical_key, resolve_aggregate)
+from repro.hiveql import parse_expression
+from repro.hiveql.evaluator import ColumnResolver
+from repro.storage.schema import DataType, Schema
+
+
+def run_aggregate(function, values):
+    state = function.initial()
+    for value in values:
+        state = function.accumulate(state, value)
+    return function.finalize(state)
+
+
+class TestFunctions:
+    def test_sum(self):
+        assert run_aggregate(SumAgg(), [1, 2, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert run_aggregate(SumAgg(), []) is None
+
+    def test_sum_skips_nulls(self):
+        assert run_aggregate(SumAgg(), [1, None, 2]) == 3
+
+    def test_count(self):
+        assert run_aggregate(CountAgg(), ["a", "b"]) == 2
+
+    def test_min_max(self):
+        assert run_aggregate(MinAgg(), [3, 1, 2]) == 1
+        assert run_aggregate(MaxAgg(), [3, 1, 2]) == 3
+        assert run_aggregate(MinAgg(), []) is None
+
+    def test_avg(self):
+        assert run_aggregate(AvgAgg(), [1.0, 2.0, 3.0]) == 2.0
+        assert run_aggregate(AvgAgg(), []) is None
+
+    def test_count_distinct(self):
+        assert run_aggregate(CountDistinctAgg(), [1, 1, 2, None, 2]) == 2
+
+    def test_additivity_flags(self):
+        assert SumAgg().additive and CountAgg().additive
+        assert AvgAgg().additive  # as a (sum, count) pair
+        assert not CountDistinctAgg().additive
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=st.lists(st.integers(-100, 100), min_size=1, max_size=30),
+       cut=st.integers(min_value=0, max_value=30))
+@pytest.mark.parametrize("function_cls", [SumAgg, CountAgg, MinAgg, MaxAgg,
+                                          AvgAgg])
+def test_property_merge_equals_single_pass(function_cls, values, cut):
+    """merge(accumulate(left), accumulate(right)) == accumulate(all):
+    the additivity property DGF headers require."""
+    function = function_cls()
+    cut = cut % (len(values) + 1)
+
+    def fold(chunk):
+        state = function.initial()
+        for value in chunk:
+            state = function.accumulate(state, value)
+        return state
+
+    merged = function.merge(fold(values[:cut]), fold(values[cut:]))
+    assert function.finalize(merged) == function.finalize(fold(values))
+
+
+class TestResolveAndKeys:
+    def test_resolve_names(self):
+        assert isinstance(resolve_aggregate(parse_expression("sum(a)")),
+                          SumAgg)
+        assert isinstance(
+            resolve_aggregate(parse_expression("count(DISTINCT a)")),
+            CountDistinctAgg)
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SemanticError):
+            resolve_aggregate(parse_expression("median(a)"))
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError):
+            resolve_aggregate(parse_expression("sum(a, b)"))
+
+    def test_canonical_key_normalizes(self):
+        assert canonical_key(parse_expression("SUM( powerConsumed )")) \
+            == "sum(powerconsumed)"
+        assert canonical_key(parse_expression("count(*)")) == "count(*)"
+        assert canonical_key(parse_expression("count(DISTINCT u)")) \
+            == "count_distinct(u)"
+
+    def test_canonical_key_of_expression(self):
+        key = canonical_key(parse_expression("sum(price * qty)"))
+        assert key == "sum((price*qty))"
+
+
+class TestCompiledAggregate:
+    @pytest.fixture
+    def resolver(self):
+        return ColumnResolver.for_schema(
+            Schema.of(("v", DataType.DOUBLE), ("w", DataType.INT)), "t")
+
+    def test_accumulates_rows(self, resolver):
+        agg = CompiledAggregate.compile(parse_expression("sum(v)"),
+                                        resolver)
+        state = agg.function.initial()
+        for row in [(1.0, 1), (2.5, 2)]:
+            state = agg.accumulate_row(state, row)
+        assert agg.function.finalize(state) == 3.5
+
+    def test_count_star(self, resolver):
+        agg = CompiledAggregate.compile(parse_expression("count(*)"),
+                                        resolver)
+        state = agg.function.initial()
+        for row in [(None, 1), (2.0, 2)]:
+            state = agg.accumulate_row(state, row)
+        assert state == 2  # count(*) counts NULL rows too
+
+    def test_count_column_skips_nulls(self, resolver):
+        agg = CompiledAggregate.compile(parse_expression("count(v)"),
+                                        resolver)
+        state = agg.function.initial()
+        for row in [(None, 1), (2.0, 2)]:
+            state = agg.accumulate_row(state, row)
+        assert state == 1
+
+    def test_expression_argument(self, resolver):
+        agg = CompiledAggregate.compile(parse_expression("sum(v * w)"),
+                                        resolver)
+        state = agg.function.initial()
+        for row in [(2.0, 3), (1.0, 4)]:
+            state = agg.accumulate_row(state, row)
+        assert state == 10.0

@@ -1,0 +1,123 @@
+"""Tests for the metastore."""
+
+import pytest
+
+from repro.errors import MetastoreError
+from repro.hive.metastore import IndexInfo, Metastore, TableInfo, parse_type
+from repro.storage.schema import DataType, Schema
+
+
+def table(name="t", partitioned=False):
+    schema = Schema.of(("a", DataType.INT), ("dt", DataType.DATE))
+    partition_schema = Schema.of(("dt", DataType.DATE)) if partitioned \
+        else None
+    return TableInfo(name=name, schema=schema,
+                     partition_schema=partition_schema)
+
+
+class TestParseType:
+    def test_known_types(self):
+        assert parse_type("BIGINT") is DataType.BIGINT
+        assert parse_type("float") is DataType.DOUBLE
+
+    def test_unknown(self):
+        with pytest.raises(MetastoreError):
+            parse_type("blob")
+
+
+class TestTables:
+    def test_create_get(self):
+        ms = Metastore()
+        ms.create_table(table())
+        assert ms.get_table("T").name == "t"
+
+    def test_default_location(self):
+        assert table("Sales").location == "/warehouse/sales"
+
+    def test_duplicate(self):
+        ms = Metastore()
+        ms.create_table(table())
+        with pytest.raises(MetastoreError):
+            ms.create_table(table())
+
+    def test_unknown(self):
+        with pytest.raises(MetastoreError):
+            Metastore().get_table("ghost")
+
+    def test_drop_removes_indexes(self):
+        ms = Metastore()
+        ms.create_table(table())
+        ms.add_index(IndexInfo(name="i", table="t", columns=("a",),
+                               handler="compact"))
+        ms.drop_table("t")
+        assert ms.list_tables() == []
+
+    def test_partition_dir(self):
+        info = table(partitioned=True)
+        assert info.partition_dir(("2012-12-01",)) \
+            == "/warehouse/t/dt=2012-12-01"
+
+    def test_partition_dir_arity(self):
+        with pytest.raises(MetastoreError):
+            table(partitioned=True).partition_dir(("a", "b"))
+
+    def test_partition_dir_on_unpartitioned(self):
+        with pytest.raises(MetastoreError):
+            table().partition_dir(("x",))
+
+    def test_data_location_follows_dgf_reorg(self):
+        info = table()
+        assert info.data_location == info.location
+        info.properties["dgf_data_location"] = "/warehouse/t__dgf"
+        assert info.data_location == "/warehouse/t__dgf"
+
+
+class TestIndexes:
+    def test_add_get_drop(self):
+        ms = Metastore()
+        ms.create_table(table())
+        ms.add_index(IndexInfo(name="i", table="t", columns=("a",),
+                               handler="compact"))
+        assert ms.get_index("t", "I").handler == "compact"
+        ms.drop_index("t", "i")
+        with pytest.raises(MetastoreError):
+            ms.get_index("t", "i")
+
+    def test_index_requires_table(self):
+        with pytest.raises(MetastoreError):
+            Metastore().add_index(IndexInfo(name="i", table="ghost",
+                                            columns=("a",),
+                                            handler="compact"))
+
+    def test_duplicate_index(self):
+        ms = Metastore()
+        ms.create_table(table())
+        ms.add_index(IndexInfo(name="i", table="t", columns=("a",),
+                               handler="compact"))
+        with pytest.raises(MetastoreError):
+            ms.add_index(IndexInfo(name="i", table="t", columns=("a",),
+                                   handler="compact"))
+
+    def test_single_dgf_per_table(self):
+        """The paper: each table can only create one DGFIndex (the index
+        reorganizes the table's physical layout)."""
+        ms = Metastore()
+        ms.create_table(table())
+        ms.add_index(IndexInfo(name="d1", table="t", columns=("a",),
+                               handler="dgf"))
+        with pytest.raises(MetastoreError):
+            ms.add_index(IndexInfo(name="d2", table="t", columns=("a",),
+                                   handler="dgf"))
+        # a compact index can still coexist
+        ms.add_index(IndexInfo(name="c", table="t", columns=("a",),
+                               handler="compact"))
+
+    def test_indexes_on_filter(self):
+        ms = Metastore()
+        ms.create_table(table())
+        ms.add_index(IndexInfo(name="d", table="t", columns=("a",),
+                               handler="dgf"))
+        ms.add_index(IndexInfo(name="c", table="t", columns=("a",),
+                               handler="compact"))
+        assert [i.name for i in ms.indexes_on("t")] == ["c", "d"]
+        assert [i.name for i in ms.indexes_on("t", "dgf")] == ["d"]

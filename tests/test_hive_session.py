@@ -1,0 +1,246 @@
+"""End-to-end tests of the HiveSession: DDL, loading, SELECT shapes."""
+
+import pytest
+
+from repro.errors import (ExecutionError, MetastoreError, SemanticError)
+from repro.hive.session import HiveSession, QueryOptions
+from tests.conftest import METER_DDL, SCAN, make_session, meter_rows
+
+
+class TestDDL:
+    def test_create_and_describe(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int, b string)")
+        described = session.execute("DESCRIBE t")
+        assert described.rows == [("a", "int"), ("b", "string")]
+
+    def test_show_tables(self):
+        session = make_session()
+        session.execute("CREATE TABLE b (x int)")
+        session.execute("CREATE TABLE a (x int)")
+        assert session.execute("SHOW TABLES").rows == [("a",), ("b",)]
+
+    def test_if_not_exists(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        result = session.execute("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert result.rows == [("EXISTS",)]
+
+    def test_drop_table_removes_data(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        session.load_rows("t", [(1,), (2,)])
+        session.execute("DROP TABLE t")
+        assert session.execute("SHOW TABLES").rows == []
+        assert not session.fs.exists("/warehouse/t")
+
+    def test_drop_if_exists(self):
+        result = make_session().execute("DROP TABLE IF EXISTS ghost")
+        assert result.rows == [("SKIPPED",)]
+
+    def test_show_indexes(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        session.load_rows("t", [(i,) for i in range(10)])
+        session.execute("CREATE INDEX i ON TABLE t(a) AS 'compact'")
+        rows = session.execute("SHOW INDEXES ON t").rows
+        assert rows[0][:2] == ("i", "compact")
+        assert rows[0][3] is True
+
+    def test_deferred_rebuild(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        session.load_rows("t", [(1,)])
+        result = session.execute("CREATE INDEX i ON TABLE t(a) "
+                                 "AS 'compact' WITH DEFERRED REBUILD")
+        assert result.rows == [("DEFERRED",)]
+        report = session.rebuild_index("t", "i")
+        assert report.index_size_bytes > 0
+
+    def test_create_index_unknown_column(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        with pytest.raises(Exception):
+            session.execute("CREATE INDEX i ON TABLE t(zz) AS 'compact'")
+
+
+class TestLoading:
+    def test_load_validates_rows(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        with pytest.raises(Exception):
+            session.load_rows("t", [("not-int",)])
+
+    def test_each_load_appends_a_file(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")
+        session.load_rows("t", [(1,)])
+        session.load_rows("t", [(2,)])
+        assert len(session.fs.list_files("/warehouse/t")) == 2
+        assert session.table_row_count("t") == 2
+
+
+class TestSelect:
+    @pytest.fixture
+    def session(self, meter_session):
+        return meter_session
+
+    def test_projection(self, session):
+        result = session.execute(
+            "SELECT userid, powerconsumed FROM meterdata "
+            "WHERE userid = 3 AND ts = '2012-12-01'", SCAN)
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == 3
+        assert result.columns == ["userid", "powerconsumed"]
+
+    def test_select_star(self, session):
+        result = session.execute(
+            "SELECT * FROM meterdata WHERE userid = 0", SCAN)
+        assert len(result.rows) == 6  # one per day
+        assert len(result.rows[0]) == 4
+
+    def test_global_aggregate(self, session):
+        result = session.execute(
+            "SELECT count(*), sum(powerconsumed), min(powerconsumed), "
+            "max(powerconsumed), avg(powerconsumed) FROM meterdata", SCAN)
+        count, total, low, high, mean = result.rows[0]
+        assert count == 1200
+        assert low <= mean <= high
+        assert mean == pytest.approx(total / count)
+
+    def test_aggregate_over_empty_selection(self, session):
+        result = session.execute(
+            "SELECT count(*), sum(powerconsumed) FROM meterdata "
+            "WHERE userid = 99999", SCAN)
+        assert result.rows == [(0, None)]
+
+    def test_count_distinct(self, session):
+        result = session.execute(
+            "SELECT count(DISTINCT userid) FROM meterdata", SCAN)
+        assert result.scalar() == 200
+
+    def test_group_by(self, session):
+        result = session.execute(
+            "SELECT ts, count(*) FROM meterdata GROUP BY ts", SCAN)
+        assert len(result.rows) == 6
+        assert all(count == 200 for _ts, count in result.rows)
+        assert [ts for ts, _ in result.rows] == sorted(
+            ts for ts, _ in result.rows)
+
+    def test_group_by_expression_alias(self, session):
+        result = session.execute(
+            "SELECT regionid, sum(powerconsumed) AS total FROM meterdata "
+            "GROUP BY regionid", SCAN)
+        assert result.columns == ["regionid", "total"]
+
+    def test_order_by_limit(self, session):
+        result = session.execute(
+            "SELECT ts, sum(powerconsumed) FROM meterdata GROUP BY ts "
+            "ORDER BY ts DESC LIMIT 2", SCAN)
+        assert len(result.rows) == 2
+        assert result.rows[0][0] > result.rows[1][0]
+
+    def test_non_grouped_item_rejected(self, session):
+        with pytest.raises(SemanticError):
+            session.execute("SELECT userid, sum(powerconsumed) "
+                            "FROM meterdata GROUP BY regionid", SCAN)
+
+    def test_join(self, session):
+        session.execute("CREATE TABLE userinfo (userid bigint, "
+                        "username string)")
+        session.load_rows("userinfo",
+                          [(u, f"user{u}") for u in range(200)])
+        result = session.execute(
+            "SELECT t2.username, t1.powerconsumed FROM meterdata t1 "
+            "JOIN userinfo t2 ON t1.userid = t2.userid "
+            "WHERE t1.userid = 5 AND t1.ts = '2012-12-02'", SCAN)
+        assert len(result.rows) == 1
+        assert result.rows[0][0] == "user5"
+
+    def test_join_with_group_by(self, session):
+        session.execute("CREATE TABLE userinfo (userid bigint, "
+                        "username string)")
+        session.load_rows("userinfo",
+                          [(u, f"user{u}") for u in range(200)])
+        result = session.execute(
+            "SELECT t2.username, sum(t1.powerconsumed) FROM meterdata t1 "
+            "JOIN userinfo t2 ON t1.userid = t2.userid "
+            "WHERE t1.userid < 3 GROUP BY t2.username", SCAN)
+        assert len(result.rows) == 3
+
+    def test_insert_overwrite_directory(self, session):
+        session.execute(
+            "INSERT OVERWRITE DIRECTORY '/tmp/out' "
+            "SELECT userid FROM meterdata WHERE userid < 2 "
+            "AND ts = '2012-12-01'", SCAN)
+        content = session.fs.read_bytes("/tmp/out/000000_0")
+        assert content == b"0\n1\n"
+
+    def test_explain(self, session):
+        result = session.execute("EXPLAIN SELECT sum(powerconsumed) "
+                                 "FROM meterdata WHERE userid < 5")
+        text = "\n".join(r[0] for r in result.rows)
+        assert "meterdata" in text
+        assert "shape: group/aggregate" in text
+
+    def test_scalar_helper(self, session):
+        result = session.execute("SELECT count(*) FROM meterdata", SCAN)
+        assert result.scalar() == 1200
+        multi = session.execute("SELECT ts, count(*) FROM meterdata "
+                                "GROUP BY ts", SCAN)
+        with pytest.raises(ExecutionError):
+            multi.scalar()
+
+    def test_stats_populated(self, session):
+        result = session.execute("SELECT count(*) FROM meterdata "
+                                 "WHERE userid < 10", SCAN)
+        stats = result.stats
+        assert stats.records_read == 1200
+        assert stats.records_matched == 60
+        assert stats.bytes_read > 0
+        assert stats.jobs == 1
+        assert stats.simulated_seconds > 0
+        assert stats.index_used is None
+
+    def test_forced_missing_index(self, session):
+        with pytest.raises(MetastoreError):
+            session.execute("SELECT count(*) FROM meterdata",
+                            QueryOptions(index_name="nope"))
+
+    def test_unknown_table(self, session):
+        with pytest.raises(MetastoreError):
+            session.execute("SELECT a FROM ghost")
+
+
+class TestPartitionedTables:
+    @pytest.fixture
+    def session(self):
+        session = make_session()
+        session.execute("CREATE TABLE logs (v int, dt date) "
+                        "PARTITIONED BY (dt date)")
+        session.load_rows("logs", [(i, f"2012-12-0{1 + i % 3}")
+                                   for i in range(30)])
+        return session
+
+    def test_partition_directories(self, session):
+        table = session.metastore.get_table("logs")
+        assert len(table.partitions) == 3
+        assert session.fs.exists("/warehouse/logs/dt=2012-12-01")
+
+    def test_pruning_reduces_reads(self, session):
+        full = session.execute("SELECT count(*) FROM logs", SCAN)
+        pruned = session.execute(
+            "SELECT count(*) FROM logs WHERE dt = '2012-12-02'", SCAN)
+        assert full.scalar() == 30
+        assert pruned.scalar() == 10
+        assert pruned.stats.records_read < full.stats.records_read
+
+    def test_range_pruning(self, session):
+        result = session.execute(
+            "SELECT count(*) FROM logs WHERE dt >= '2012-12-02'", SCAN)
+        assert result.scalar() == 20
+        assert result.stats.records_read == 20
+
+    def test_namenode_memory_grows_with_partitions(self, session):
+        memory = session.fs.namenode.metadata_memory_bytes()
+        assert memory >= 3 * 150  # at least one object per partition dir

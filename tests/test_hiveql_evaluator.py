@@ -1,0 +1,163 @@
+"""Tests for expression compilation and NULL semantics."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.hiveql import parse_expression
+from repro.hiveql.evaluator import (ColumnResolver, compile_expr,
+                                    predicate_fn)
+from repro.storage.schema import DataType, Schema
+
+
+@pytest.fixture
+def resolver(simple_schema):
+    return ColumnResolver.for_schema(simple_schema, "t")
+
+
+def ev(text, resolver, row):
+    return compile_expr(parse_expression(text), resolver)(row)
+
+
+class TestBasics:
+    def test_literal(self, resolver):
+        assert ev("42", resolver, ()) == 42
+
+    def test_column(self, resolver):
+        assert ev("b", resolver, (1, 2.5, "x")) == 2.5
+
+    def test_qualified_column(self, resolver):
+        assert ev("t.c", resolver, (1, 2.5, "x")) == "x"
+
+    def test_unknown_column(self, resolver):
+        with pytest.raises(SemanticError):
+            compile_expr(parse_expression("zz"), resolver)
+
+    def test_arithmetic(self, resolver):
+        assert ev("a * 2 + b", resolver, (3, 0.5, "")) == 6.5
+
+    def test_division_by_zero_is_null(self, resolver):
+        assert ev("a / 0", resolver, (3, 0.0, "")) is None
+
+    def test_modulo(self, resolver):
+        assert ev("a % 3", resolver, (7, 0.0, "")) == 1
+
+    def test_unary_minus(self, resolver):
+        assert ev("-a", resolver, (3, 0.0, "")) == -3
+
+
+class TestComparisons:
+    def test_numeric(self, resolver):
+        assert ev("a >= 3", resolver, (3, 0.0, "")) is True
+        assert ev("a > 3", resolver, (3, 0.0, "")) is False
+
+    def test_string_dates_compare_chronologically(self, resolver):
+        row = (1, 0.0, "2012-12-05")
+        assert ev("c > '2012-12-01'", resolver, row) is True
+        assert ev("c < '2012-12-31'", resolver, row) is True
+
+    def test_between_inclusive(self, resolver):
+        assert ev("a BETWEEN 1 AND 5", resolver, (5, 0.0, "")) is True
+        assert ev("a BETWEEN 1 AND 5", resolver, (6, 0.0, "")) is False
+
+    def test_in_list(self, resolver):
+        assert ev("a IN (1, 3, 5)", resolver, (3, 0.0, "")) is True
+        assert ev("a IN (1, 3, 5)", resolver, (2, 0.0, "")) is False
+
+
+class TestNullSemantics:
+    def test_comparison_with_null(self, resolver):
+        assert ev("a > 1", resolver, (None, 0.0, "")) is None
+
+    def test_and_short_circuit(self, resolver):
+        # NULL AND FALSE = FALSE, NULL AND TRUE = NULL (three-valued)
+        assert ev("a > 1 AND b > 100", resolver, (None, 0.0, "")) is False
+        assert ev("a > 1 AND b < 100", resolver, (None, 0.0, "")) is None
+
+    def test_or_short_circuit(self, resolver):
+        assert ev("a > 1 OR b < 100", resolver, (None, 0.0, "")) is True
+        assert ev("a > 1 OR b > 100", resolver, (None, 0.0, "")) is None
+
+    def test_not_null(self, resolver):
+        assert ev("NOT a > 1", resolver, (None, 0.0, "")) is None
+
+    def test_predicate_fn_treats_null_as_false(self, resolver):
+        predicate = predicate_fn(parse_expression("a > 1"), resolver)
+        assert predicate((None, 0.0, "")) is False
+        assert predicate((2, 0.0, "")) is True
+
+    def test_predicate_fn_none_clause(self, resolver):
+        assert predicate_fn(None, resolver)((1, 1.0, "x")) is True
+
+
+class TestScalarFunctions:
+    def test_abs_round(self, resolver):
+        assert ev("abs(-3)", resolver, ()) == 3
+        assert ev("round(b)", resolver, (0, 2.6, "")) == 3
+
+    def test_string_functions(self, resolver):
+        row = (0, 0.0, "AbC")
+        assert ev("lower(c)", resolver, row) == "abc"
+        assert ev("upper(c)", resolver, row) == "ABC"
+        assert ev("length(c)", resolver, row) == 3
+
+    def test_date_parts(self, resolver):
+        row = (0, 0.0, "2012-12-30")
+        assert ev("year(c)", resolver, row) == 2012
+        assert ev("month(c)", resolver, row) == 12
+        assert ev("day(c)", resolver, row) == 30
+
+    def test_unknown_function(self, resolver):
+        with pytest.raises(SemanticError):
+            compile_expr(parse_expression("frobnicate(a)"), resolver)
+
+    def test_aggregate_in_scalar_context_rejected(self, resolver):
+        with pytest.raises(SemanticError):
+            compile_expr(parse_expression("sum(a)"), resolver)
+
+
+class TestResolver:
+    def test_ambiguous_bare_name(self):
+        left = Schema.of(("id", DataType.INT), ("v", DataType.INT))
+        right = Schema.of(("id", DataType.INT), ("w", DataType.INT))
+        resolver = ColumnResolver.for_schema(left, "l")
+        resolver.add_schema(right, "r", offset=2)
+        with pytest.raises(SemanticError):
+            compile_expr(parse_expression("id"), resolver)
+        # qualified access still works
+        assert ev("l.id", resolver, (1, 2, 3, 4)) == 1
+        assert ev("r.id", resolver, (1, 2, 3, 4)) == 3
+
+    def test_try_resolve(self, resolver):
+        from repro.hiveql import ast
+        assert resolver.try_resolve(ast.ColumnRef(name="a")) == 0
+        assert resolver.try_resolve(ast.ColumnRef(name="zz")) is None
+
+
+class TestLike:
+    def test_percent_wildcard(self, resolver):
+        row = (0, 0.0, "user_0042")
+        assert ev("c LIKE 'user%'", resolver, row) is True
+        assert ev("c LIKE '%42'", resolver, row) is True
+        assert ev("c LIKE 'admin%'", resolver, row) is False
+
+    def test_underscore_wildcard(self, resolver):
+        row = (0, 0.0, "abc")
+        assert ev("c LIKE 'a_c'", resolver, row) is True
+        assert ev("c LIKE 'a_d'", resolver, row) is False
+
+    def test_regex_metacharacters_are_literal(self, resolver):
+        row = (0, 0.0, "a.c")
+        assert ev("c LIKE 'a.c'", resolver, row) is True
+        row2 = (0, 0.0, "abc")
+        assert ev("c LIKE 'a.c'", resolver, row2) is False
+
+    def test_null_semantics(self, resolver):
+        assert ev("c LIKE 'x%'", resolver, (0, 0.0, None)) is None
+
+    def test_like_in_where_clause(self, meter_session):
+        """LIKE works end to end through the session (residual filter)."""
+        from repro.hive.session import QueryOptions
+        result = meter_session.execute(
+            "SELECT count(*) FROM meterdata WHERE ts LIKE '2012-12-0_'",
+            QueryOptions(use_index=False))
+        assert result.scalar() == 1200  # all six days match 2012-12-0_

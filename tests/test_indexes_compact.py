@@ -1,0 +1,202 @@
+"""Tests for the Compact Index (and its Aggregate/Bitmap derivatives)."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.hive.indexhandler import resolve_handler_name
+from repro.hive.session import QueryOptions
+from tests.conftest import SCAN, make_session, meter_rows
+
+METER_DDL_RC = ("CREATE TABLE meterdata (userid bigint, regionid int, "
+                "ts date, powerconsumed double) STORED AS RCFILE")
+
+AGG_SQL = ("SELECT sum(powerconsumed) FROM meterdata "
+           "WHERE regionid >= 1 AND regionid <= 2 "
+           "AND ts >= '2012-12-02' AND ts < '2012-12-04'")
+
+
+def rc_session(block_size=16 * 1024):
+    session = make_session(block_size)
+    session.execute(METER_DDL_RC)
+    rows = meter_rows()
+    half = len(rows) // 2
+    session.load_rows("meterdata", rows[:half])
+    session.load_rows("meterdata", rows[half:])
+    return session
+
+
+class TestHandlerResolution:
+    def test_short_names(self):
+        assert resolve_handler_name("dgf") == "dgf"
+        assert resolve_handler_name("COMPACT") == "compact"
+
+    def test_hive_class_names(self):
+        assert resolve_handler_name(
+            "org.apache.hadoop.hive.ql.index.compact."
+            "CompactIndexHandler") == "compact"
+        assert resolve_handler_name(
+            "org.apache.hadoop.hive.ql.index.bitmap."
+            "BitmapIndexHandler") == "bitmap"
+        assert resolve_handler_name("org...dgf.DgfIndexHandler") == "dgf"
+
+    def test_unknown(self):
+        with pytest.raises(IndexError_):
+            resolve_handler_name("mystery")
+
+
+class TestCompactIndex:
+    @pytest.fixture
+    def session(self):
+        session = rc_session()
+        session.execute("CREATE INDEX cidx ON TABLE meterdata"
+                        "(regionid, ts) AS 'compact'")
+        return session
+
+    def test_build_creates_index_table(self, session):
+        index_table = session.metastore.get_table(
+            "default__meterdata_cidx__")
+        assert index_table.properties["is_index_table"]
+        # rows = distinct (regionid, ts, file) combos; each day's rows
+        # live in exactly one of the two load files: 5 regions x 6 days
+        assert session.table_row_count("default__meterdata_cidx__") == 30
+
+    def test_build_report(self, session):
+        report = session.build_report("meterdata", "cidx")
+        assert report.index_size_bytes \
+            == session.fs.total_size("/warehouse/default__meterdata_cidx__")
+        assert report.build_time.total > 0
+
+    def test_query_equivalence(self, session):
+        scan = session.execute(AGG_SQL, SCAN)
+        indexed = session.execute(AGG_SQL)
+        assert indexed.rows[0][0] == pytest.approx(scan.rows[0][0])
+        assert "compact(cidx)" in indexed.stats.index_used
+
+    def test_index_filters_splits_on_sorted_data(self, session):
+        """Meter data is time-sorted, so a narrow ts range prunes splits."""
+        indexed = session.execute(AGG_SQL)
+        scan = session.execute(AGG_SQL, SCAN)
+        assert indexed.stats.records_read < scan.stats.records_read
+
+    def test_cannot_filter_within_split(self, session):
+        """The Compact Index reads *whole* chosen splits: it always reads
+        at least every record whose (regionid, ts) matched."""
+        indexed = session.execute(AGG_SQL)
+        assert indexed.stats.records_read > indexed.stats.records_matched
+
+    def test_declines_without_indexed_predicate(self, session):
+        result = session.execute(
+            "SELECT sum(powerconsumed) FROM meterdata "
+            "WHERE powerconsumed > 49.9")
+        assert result.stats.index_used is None
+
+    def test_scattered_data_filters_nothing(self):
+        """The paper's TPC-H observation: on data with no physical order,
+        the Compact Index keeps every split."""
+        session = make_session(8 * 1024)
+        session.execute("CREATE TABLE scattered (k int, v double) "
+                        "STORED AS RCFILE")
+        # every value of k appears across the whole file
+        session.load_rows("scattered",
+                          [(i % 7, float(i)) for i in range(2000)])
+        session.execute("CREATE INDEX s ON TABLE scattered(k) "
+                        "AS 'compact'")
+        scan = session.execute("SELECT sum(v) FROM scattered "
+                               "WHERE k = 3", SCAN)
+        indexed = session.execute("SELECT sum(v) FROM scattered "
+                                  "WHERE k = 3")
+        assert indexed.rows == scan.rows
+        assert indexed.stats.records_read == scan.stats.records_read
+        # ... and it still pays for scanning the index table
+        assert indexed.stats.time.read_index_and_other \
+            > scan.stats.time.read_index_and_other
+
+    def test_index_time_accounted(self, session):
+        indexed = session.execute(AGG_SQL)
+        assert indexed.stats.index_records_scanned == 30
+        assert indexed.stats.time.read_index_and_other \
+            > session.cluster.job_launch_seconds
+
+    def test_drop_index_removes_table(self, session):
+        session.execute("DROP INDEX cidx ON meterdata")
+        assert not session.metastore.has_table("default__meterdata_cidx__")
+
+
+class TestAggregateIndex:
+    @pytest.fixture
+    def session(self):
+        session = rc_session()
+        session.execute("CREATE INDEX aidx ON TABLE meterdata"
+                        "(regionid, ts) AS 'aggregate'")
+        return session
+
+    def test_group_by_rewrite(self, session):
+        sql = ("SELECT regionid, count(*) FROM meterdata "
+               "WHERE ts >= '2012-12-02' AND ts < '2012-12-04' "
+               "GROUP BY regionid")
+        scan = session.execute(sql, SCAN)
+        rewritten = session.execute(sql)
+        assert sorted(rewritten.rows) == sorted(scan.rows)
+        assert "rewrite" in rewritten.stats.index_used
+        assert rewritten.stats.records_read == 0  # index-as-data
+
+    def test_rewrite_requires_count_only(self, session):
+        sql = ("SELECT regionid, sum(powerconsumed) FROM meterdata "
+               "GROUP BY regionid")
+        result = session.execute(sql)
+        assert result.stats.index_used is None \
+            or "rewrite" not in result.stats.index_used
+
+    def test_rewrite_requires_indexed_group_columns(self, session):
+        sql = "SELECT userid, count(*) FROM meterdata GROUP BY userid"
+        result = session.execute(sql)
+        assert result.stats.index_used is None \
+            or "rewrite" not in result.stats.index_used
+
+    def test_rewrite_rejects_residual_predicates(self, session):
+        sql = ("SELECT regionid, count(*) FROM meterdata "
+               "WHERE powerconsumed > 10 GROUP BY regionid")
+        scan = session.execute(sql, SCAN)
+        result = session.execute(sql)
+        assert sorted(result.rows) == sorted(scan.rows)
+        assert result.stats.index_used is None \
+            or "rewrite" not in (result.stats.index_used or "")
+
+    def test_falls_back_to_split_filtering(self, session):
+        scan = session.execute(AGG_SQL, SCAN)
+        result = session.execute(AGG_SQL)
+        assert result.rows[0][0] == pytest.approx(scan.rows[0][0])
+        assert "aggregate-as-compact" in result.stats.index_used
+
+
+class TestBitmapIndex:
+    @pytest.fixture
+    def session(self):
+        session = rc_session()
+        session.execute("CREATE INDEX bidx ON TABLE meterdata"
+                        "(regionid, ts) AS 'bitmap'")
+        return session
+
+    def test_requires_rcfile(self):
+        session = make_session()
+        session.execute("CREATE TABLE t (a int)")  # TextFile
+        session.load_rows("t", [(1,)])
+        with pytest.raises(IndexError_):
+            session.execute("CREATE INDEX b ON TABLE t(a) AS 'bitmap'")
+
+    def test_query_equivalence(self, session):
+        scan = session.execute(AGG_SQL, SCAN)
+        indexed = session.execute(AGG_SQL)
+        assert indexed.rows[0][0] == pytest.approx(scan.rows[0][0])
+        assert "bitmap(bidx)" in indexed.stats.index_used
+
+    def test_filters_rows_within_groups(self, session):
+        """Unlike Compact, Bitmap reads only matching rows of a group."""
+        indexed = session.execute(AGG_SQL)
+        compact_session = rc_session()
+        compact_session.execute("CREATE INDEX cidx ON TABLE meterdata"
+                                "(regionid, ts) AS 'compact'")
+        compact = compact_session.execute(AGG_SQL)
+        assert indexed.stats.records_read <= compact.stats.records_read
+        assert indexed.stats.records_read \
+            == indexed.stats.records_matched  # exact row filtering

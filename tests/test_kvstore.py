@@ -1,0 +1,138 @@
+"""Tests for the HBase-like key-value store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KVStoreError
+from repro.kvstore.hbase import KVStore
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        kv = KVStore()
+        kv.put("k1", {"v": 1})
+        assert kv.get("k1") == {"v": 1}
+
+    def test_get_missing(self):
+        assert KVStore().get("nope") is None
+
+    def test_overwrite(self):
+        kv = KVStore()
+        kv.put("k", 1)
+        kv.put("k", 2)
+        assert kv.get("k") == 2
+        assert kv.count() == 1
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(KVStoreError):
+            KVStore().put(42, "x")
+
+    def test_delete(self):
+        kv = KVStore()
+        kv.put("k", 1)
+        assert kv.delete("k")
+        assert kv.get("k") is None
+        assert not kv.delete("k")
+
+    def test_contains(self):
+        kv = KVStore()
+        kv.put("k", 1)
+        assert kv.contains("k")
+        assert not kv.contains("other")
+
+    def test_multi_get_skips_missing(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        kv.put("c", 3)
+        assert kv.multi_get(["a", "b", "c"]) == {"a": 1, "c": 3}
+
+    def test_put_all(self):
+        kv = KVStore()
+        kv.put_all({"a": 1, "b": 2})
+        assert kv.count() == 2
+
+
+class TestScan:
+    def test_ordered_scan(self):
+        kv = KVStore()
+        for key in ["b", "a", "d", "c"]:
+            kv.put(key, key.upper())
+        assert [k for k, _ in kv.scan()] == ["a", "b", "c", "d"]
+
+    def test_range_scan_half_open(self):
+        kv = KVStore()
+        for i in range(10):
+            kv.put(f"k{i}", i)
+        got = dict(kv.scan("k3", "k7"))
+        assert sorted(got) == ["k3", "k4", "k5", "k6"]
+
+    def test_prefix_style_scan(self):
+        kv = KVStore()
+        kv.put("dgf:t:a", 1)
+        kv.put("dgf:t:b", 2)
+        kv.put("other", 3)
+        got = [k for k, _ in kv.scan("dgf:t:", "dgf:t:\U0010ffff")]
+        assert got == ["dgf:t:a", "dgf:t:b"]
+
+
+class TestRegions:
+    def test_split_on_growth(self):
+        kv = KVStore(max_region_keys=8)
+        for i in range(100):
+            kv.put(f"k{i:04d}", i)
+        assert len(kv.regions) > 1
+        assert kv.count() == 100
+
+    def test_region_boundaries_ordered(self):
+        kv = KVStore(max_region_keys=4)
+        for i in range(50):
+            kv.put(f"{i:03d}", i)
+        starts = [r.start_key for r in kv.regions]
+        assert starts == sorted(starts)
+
+    def test_reads_after_splits(self):
+        kv = KVStore(max_region_keys=4)
+        for i in range(50):
+            kv.put(f"{i:03d}", i)
+        for i in range(50):
+            assert kv.get(f"{i:03d}") == i
+
+    def test_min_region_size(self):
+        with pytest.raises(KVStoreError):
+            KVStore(max_region_keys=1)
+
+
+class TestStats:
+    def test_op_accounting(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        kv.get("a")
+        kv.get("b")
+        list(kv.scan())
+        assert kv.stats.puts == 1
+        assert kv.stats.gets == 2
+        assert kv.stats.rows_scanned == 1
+
+    def test_stats_delta(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        before = kv.snapshot_stats()
+        kv.get("a")
+        delta = kv.stats_delta(before)
+        assert delta.gets == 1
+        assert delta.puts == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.dictionaries(
+    st.text(alphabet="abcdef0123456789", min_size=1, max_size=8),
+    st.integers(), max_size=60),
+    region_size=st.integers(min_value=2, max_value=10))
+def test_property_scan_equals_sorted_dict(items, region_size):
+    """However regions split, a full scan equals the sorted dict."""
+    kv = KVStore(max_region_keys=region_size)
+    for key, value in items.items():
+        kv.put(key, value)
+    assert list(kv.scan()) == sorted(items.items())
+    assert kv.count() == len(items)

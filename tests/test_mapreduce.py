@@ -1,0 +1,272 @@
+"""Tests for the MapReduce engine, splits, counters and cost model."""
+
+import pytest
+
+from repro.errors import MapReduceError
+from repro.hdfs.filesystem import HDFS
+from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
+from repro.mapreduce.cost import CostModel, JobStats, KVStats, TimeBreakdown
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.engine import MapReduceEngine, estimate_size, stable_hash
+from repro.mapreduce.job import Job
+from repro.mapreduce.splits import FileSplit, TextRowInputFormat
+from repro.storage.schema import DataType, Schema
+from repro.storage.textfile import TextFileWriter
+
+
+@pytest.fixture
+def loaded_fs():
+    fs = HDFS(num_datanodes=3, block_size=600)
+    schema = Schema.of(("k", DataType.INT), ("v", DataType.INT))
+    with fs.create("/in/part-0") as stream:
+        writer = TextFileWriter(stream, schema)
+        for i in range(200):
+            writer.write_row((i % 10, i))
+    return fs, schema
+
+
+class TestCounters:
+    def test_inc_and_get(self):
+        c = Counters()
+        c.inc("g", "n", 3)
+        c.inc("g", "n")
+        assert c.get("g", "n") == 4
+
+    def test_missing_is_zero(self):
+        assert Counters().get("x", "y") == 0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.inc("g", "n", 1)
+        b.inc("g", "n", 2)
+        b.inc("g", "m", 5)
+        a.merge(b)
+        assert a.get("g", "n") == 3
+        assert a.get("g", "m") == 5
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.inc("b", "y")
+        c.inc("a", "x")
+        assert [g for g, _, _ in c.items()] == ["a", "b"]
+
+
+class TestSplits:
+    def test_block_aligned_splits(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        splits = fmt.get_splits(fs, ["/in"])
+        assert len(splits) == len(fs.status("/in/part-0").blocks)
+        assert splits[0].start == 0
+        total = sum(s.length for s in splits)
+        assert total == fs.file_length("/in/part-0")
+
+    def test_splits_cover_all_rows_exactly_once(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        rows = []
+        for split in fmt.get_splits(fs, ["/in"]):
+            rows.extend(r for _, r in fmt.read_split(fs, split))
+        assert len(rows) == 200
+        assert sorted(v for _, v in rows) == list(range(200))
+
+    def test_directory_and_file_paths(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        by_dir = fmt.get_splits(fs, ["/in"])
+        by_file = fmt.get_splits(fs, ["/in/part-0"])
+        assert [(s.path, s.start) for s in by_dir] \
+            == [(s.path, s.start) for s in by_file]
+
+    def test_empty_file_has_no_splits(self):
+        fs = HDFS(num_datanodes=1)
+        fs.write_bytes("/empty", b"")
+        assert TextRowInputFormat(
+            Schema.of(("a", DataType.INT))).get_splits(fs, ["/empty"]) == []
+
+
+class TestEngine:
+    def test_map_only(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+
+        def mapper(key, row, ctx):
+            if row[1] < 5:
+                ctx.emit(row[0], row[1])
+
+        engine = MapReduceEngine(fs)
+        result = engine.run(Job(name="m", input_format=fmt, mapper=mapper,
+                                input_paths=["/in"], num_reducers=0))
+        assert sorted(v for _, v in result.output) == [0, 1, 2, 3, 4]
+        assert result.stats.map_input_records == 200
+        assert result.stats.reduce_tasks == 0
+
+    def test_full_job_with_combiner(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+
+        def mapper(key, row, ctx):
+            ctx.emit(row[0], 1)
+
+        def reduce_fn(key, values, ctx):
+            ctx.emit(key, sum(values))
+
+        engine = MapReduceEngine(fs)
+        with_combiner = engine.run(Job(
+            name="c", input_format=fmt, mapper=mapper, combiner=reduce_fn,
+            reducer=reduce_fn, input_paths=["/in"], num_reducers=3))
+        without = engine.run(Job(
+            name="nc", input_format=fmt, mapper=mapper,
+            reducer=reduce_fn, input_paths=["/in"], num_reducers=3))
+        assert sorted(with_combiner.output) == sorted(without.output)
+        assert dict(with_combiner.output) == {k: 20 for k in range(10)}
+        # the combiner shrinks shuffle volume
+        assert with_combiner.stats.shuffle_bytes < without.stats.shuffle_bytes
+
+    def test_partitioning_keeps_key_together(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+
+        def mapper(key, row, ctx):
+            ctx.emit(row[0], row[1])
+
+        seen_keys = []
+
+        def reducer(key, values, ctx):
+            seen_keys.append(key)
+            ctx.emit(key, len(values))
+
+        engine = MapReduceEngine(fs)
+        result = engine.run(Job(name="p", input_format=fmt, mapper=mapper,
+                                reducer=reducer, input_paths=["/in"],
+                                num_reducers=4))
+        assert sorted(seen_keys) == list(range(10))  # each key reduced once
+        assert result.stats.reduce_tasks <= 4
+
+    def test_reduce_hooks(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        events = []
+
+        def mapper(key, row, ctx):
+            ctx.emit(0, 1)
+
+        def reducer(key, values, ctx):
+            assert ctx.state["open"]
+
+        engine = MapReduceEngine(fs)
+        engine.run(Job(
+            name="h", input_format=fmt, mapper=mapper, reducer=reducer,
+            input_paths=["/in"], num_reducers=1,
+            reduce_setup=lambda ctx: (events.append("setup"),
+                                      ctx.state.__setitem__("open", True)),
+            reduce_cleanup=lambda ctx: events.append("cleanup")))
+        assert events == ["setup", "cleanup"]
+
+    def test_mapper_sees_split(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        paths = set()
+
+        def mapper(key, row, ctx):
+            paths.add(ctx.split.path)
+
+        MapReduceEngine(fs).run(Job(name="s", input_format=fmt,
+                                    mapper=mapper, input_paths=["/in"],
+                                    num_reducers=0))
+        assert paths == {"/in/part-0"}
+
+    def test_presupplied_splits(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        splits = fmt.get_splits(fs, ["/in"])[:1]
+
+        def mapper(key, row, ctx):
+            ctx.emit(None, row)
+
+        result = MapReduceEngine(fs).run(Job(
+            name="ps", input_format=fmt, mapper=mapper, splits=splits,
+            num_reducers=0))
+        assert result.stats.map_tasks == 1
+        assert 0 < result.stats.map_input_records < 200
+
+    def test_validation_errors(self, loaded_fs):
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+        with pytest.raises(MapReduceError):
+            MapReduceEngine(fs).run(Job(name="bad", input_format=fmt,
+                                        mapper=lambda k, v, c: None))
+        with pytest.raises(MapReduceError):
+            MapReduceEngine(fs).run(Job(
+                name="bad2", input_format=fmt,
+                mapper=lambda k, v, c: None, input_paths=["/in"],
+                reduce_setup=lambda ctx: None))
+
+    def test_stable_hash_deterministic(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+        assert stable_hash("x") != stable_hash("y")
+
+    def test_estimate_size_shapes(self):
+        assert estimate_size("abcd") == 4
+        assert estimate_size(7) == 8
+        assert estimate_size((1, "ab")) == 4 + 8 + 2
+        assert estimate_size({1: "a"}) == 4 + 8 + 1
+        assert estimate_size(None) == 1
+        assert estimate_size({1, 2}) == 4 + 16
+
+
+class TestCostModel:
+    def test_full_scan_lands_near_paper(self):
+        """A 1 TB scan over the paper's cluster should land in the vicinity
+        of the paper's ~1950 s ScanTable time (calibration anchor)."""
+        model = CostModel(PAPER_CLUSTER, data_scale=137500.0)
+        stats = JobStats(map_tasks=24, map_input_records=80000,
+                         map_input_bytes=8_000_000, reduce_tasks=1)
+        seconds = model.job_seconds(stats).total
+        assert 1200 < seconds < 3000
+
+    def test_time_scales_with_data(self):
+        model_small = CostModel(PAPER_CLUSTER, data_scale=1000)
+        model_big = CostModel(PAPER_CLUSTER, data_scale=100000)
+        stats = JobStats(map_tasks=4, map_input_records=10000,
+                         map_input_bytes=1_000_000)
+        assert model_big.job_seconds(stats).total \
+            > model_small.job_seconds(stats).total
+
+    def test_launch_overhead_togglable(self):
+        model = CostModel(PAPER_CLUSTER)
+        stats = JobStats(map_tasks=1, map_input_records=10,
+                         map_input_bytes=1000)
+        with_launch = model.job_seconds(stats, include_launch=True)
+        without = model.job_seconds(stats, include_launch=False)
+        assert with_launch.read_index_and_other \
+            == PAPER_CLUSTER.job_launch_seconds
+        assert without.read_index_and_other == 0.0
+
+    def test_kv_seconds(self):
+        model = CostModel(PAPER_CLUSTER)
+        time = model.kv_seconds(KVStats(gets=1000))
+        assert time.read_index_and_other \
+            == pytest.approx(1000 * PAPER_CLUSTER.kv_get_seconds)
+
+    def test_kv_seconds_scaled_ops(self):
+        model = CostModel(PAPER_CLUSTER, data_scale=10)
+        unscaled = model.kv_seconds(KVStats(puts=100)).total
+        scaled = model.kv_seconds(KVStats(puts=100), scale_ops=True).total
+        assert scaled == pytest.approx(10 * unscaled)
+
+    def test_breakdown_addition(self):
+        total = (TimeBreakdown(1.0, 2.0) + TimeBreakdown(0.5, 0.25))
+        assert total.read_index_and_other == 1.5
+        assert total.read_data_and_process == 2.25
+        assert total.total == 3.75
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            CostModel(PAPER_CLUSTER, data_scale=0)
+
+    def test_cluster_slots(self):
+        cluster = ClusterConfig(num_workers=28, map_slots_per_worker=5,
+                                reduce_slots_per_worker=3)
+        assert cluster.total_map_slots == 140
+        assert cluster.total_reduce_slots == 84

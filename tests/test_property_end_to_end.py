@@ -1,0 +1,178 @@
+"""End-to-end property tests: every indexed plan must return exactly the
+full-scan answer, for arbitrary generated data and arbitrary range
+predicates.  This is the reproduction's master invariant — the paper's
+performance claims are only meaningful because the index is exact.
+"""
+
+import datetime
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hive.session import HiveSession, QueryOptions
+from tests.conftest import SCAN, make_session
+
+DAYS = [(datetime.date(2012, 12, 1)
+         + datetime.timedelta(days=d)).isoformat() for d in range(8)]
+
+row_strategy = st.tuples(
+    st.integers(min_value=0, max_value=60),            # userid
+    st.integers(min_value=0, max_value=4),             # regionid
+    st.sampled_from(DAYS),                             # ts
+    st.floats(min_value=0.0, max_value=100.0,
+              allow_nan=False, width=32).map(lambda f: round(f, 2)),
+)
+
+dataset_strategy = st.lists(row_strategy, min_size=1, max_size=120)
+
+predicate_strategy = st.fixed_dictionaries({
+    "u_lo": st.integers(-5, 60),
+    "u_width": st.integers(0, 40),
+    "r_lo": st.integers(0, 4),
+    "r_width": st.integers(0, 4),
+    "d_lo": st.integers(0, 7),
+    "d_width": st.integers(0, 7),
+})
+
+
+def build_sql(agg, predicate):
+    day_lo = DAYS[predicate["d_lo"]]
+    day_hi_index = min(predicate["d_lo"] + predicate["d_width"], 7)
+    day_hi = DAYS[day_hi_index]
+    return (
+        f"SELECT {agg} FROM meterdata "
+        f"WHERE userid >= {predicate['u_lo']} "
+        f"AND userid < {predicate['u_lo'] + predicate['u_width']} "
+        f"AND regionid >= {predicate['r_lo']} "
+        f"AND regionid <= {predicate['r_lo'] + predicate['r_width']} "
+        f"AND ts >= '{day_lo}' AND ts <= '{day_hi}'")
+
+
+def load_session(rows, stored_as="TEXTFILE"):
+    session = make_session(block_size=2048)
+    session.execute(
+        "CREATE TABLE meterdata (userid bigint, regionid int, ts date, "
+        f"powerconsumed double) STORED AS {stored_as}")
+    # rows arrive time-sorted, like real meter data
+    session.load_rows("meterdata", sorted(rows, key=lambda r: r[2]))
+    return session
+
+
+def assert_rows_match(expected, actual):
+    assert len(expected) == len(actual)
+    for left, right in zip(sorted(expected), sorted(actual)):
+        assert left == pytest.approx(right)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=dataset_strategy, predicate=predicate_strategy,
+       interval=st.sampled_from([3, 10, 25]))
+def test_dgf_equals_scan(rows, predicate, interval):
+    """DGF header path, slice path and no-precompute path all equal the
+    full scan, on arbitrary data and predicates."""
+    session = load_session(rows)
+    session.execute(
+        "CREATE INDEX d ON TABLE meterdata(userid, regionid, ts) "
+        f"AS 'dgf' IDXPROPERTIES ('userid'='0_{interval}', "
+        "'regionid'='0_1', 'ts'='2012-12-01_2d', "
+        "'precompute'='sum(powerconsumed),count(*)')")
+
+    agg_sql = build_sql("sum(powerconsumed), count(*)", predicate)
+    scan = session.execute(agg_sql, SCAN)
+    headers = session.execute(agg_sql)
+    noprecompute = session.execute(
+        agg_sql, QueryOptions(dgf_use_precompute=False))
+    assert headers.rows[0][1] == scan.rows[0][1]
+    assert noprecompute.rows[0][1] == scan.rows[0][1]
+    if scan.rows[0][0] is None:
+        assert headers.rows[0][0] is None
+        assert noprecompute.rows[0][0] is None
+    else:
+        assert headers.rows[0][0] == pytest.approx(scan.rows[0][0])
+        assert noprecompute.rows[0][0] == pytest.approx(scan.rows[0][0])
+
+    group_sql = build_sql("ts, sum(powerconsumed)", predicate) \
+        + " GROUP BY ts"
+    scan_group = session.execute(group_sql, SCAN)
+    indexed_group = session.execute(group_sql)
+    assert [k for k, _ in scan_group.rows] \
+        == [k for k, _ in indexed_group.rows]
+    for (_, left), (_, right) in zip(scan_group.rows, indexed_group.rows):
+        assert left == pytest.approx(right)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=dataset_strategy, predicate=predicate_strategy)
+def test_compact_and_bitmap_equal_scan(rows, predicate):
+    session = load_session(rows, stored_as="RCFILE")
+    session.execute("CREATE INDEX c ON TABLE meterdata"
+                    "(regionid, ts) AS 'compact'")
+    sql = build_sql("sum(powerconsumed), count(*)", predicate)
+    scan = session.execute(sql, SCAN)
+    compact = session.execute(sql, QueryOptions(index_name="c"))
+    assert_rows_match(scan.rows, compact.rows)
+
+    session.execute("DROP INDEX c ON meterdata")
+    session.execute("CREATE INDEX b ON TABLE meterdata"
+                    "(regionid, ts) AS 'bitmap'")
+    bitmap = session.execute(sql, QueryOptions(index_name="b"))
+    assert_rows_match(scan.rows, bitmap.rows)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=dataset_strategy, predicate=predicate_strategy)
+def test_hadoopdb_equals_scan(rows, predicate):
+    from repro.hadoopdb.engine import HadoopDB, HadoopDBConfig
+    from repro.hiveql.parser import parse_expression
+    from repro.hiveql.predicates import extract_ranges
+    from repro.storage.schema import DataType, Schema
+
+    schema = Schema.of(("userid", DataType.BIGINT),
+                       ("regionid", DataType.INT),
+                       ("ts", DataType.DATE),
+                       ("powerconsumed", DataType.DOUBLE))
+    db = HadoopDB(schema, ["userid", "regionid", "ts"],
+                  partition_column="userid",
+                  config=HadoopDBConfig(num_nodes=3, chunks_per_node=2))
+    db.load(sorted(rows, key=lambda r: r[2]))
+
+    sql = build_sql("sum(powerconsumed)", predicate)
+    where = sql.split("WHERE", 1)[1]
+    intervals = extract_ranges(parse_expression(where)).intervals
+    result = db.aggregate(intervals, value_position=3)
+
+    session = load_session(rows)
+    scan = session.execute(sql, SCAN)
+    if scan.rows[0][0] is None:
+        assert result.rows[0][0] is None
+    else:
+        assert result.rows[0][0] == pytest.approx(scan.rows[0][0])
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=dataset_strategy,
+       append_rows=st.lists(row_strategy, min_size=1, max_size=30),
+       predicate=predicate_strategy)
+def test_dgf_append_preserves_equivalence(rows, append_rows, predicate):
+    """After appends through the no-rebuild path, indexed answers still
+    equal a scan over the combined data."""
+    from repro.core.dgf.builder import append_with_dgf
+    session = load_session(rows)
+    session.execute(
+        "CREATE INDEX d ON TABLE meterdata(userid, regionid, ts) "
+        "AS 'dgf' IDXPROPERTIES ('userid'='0_10', 'regionid'='0_1', "
+        "'ts'='2012-12-01_2d', 'precompute'='sum(powerconsumed)')")
+    append_with_dgf(session, "meterdata", "d",
+                    sorted(append_rows, key=lambda r: r[2]))
+    sql = build_sql("sum(powerconsumed)", predicate)
+    scan = session.execute(sql, SCAN)
+    indexed = session.execute(sql)
+    if scan.rows[0][0] is None:
+        assert indexed.rows[0][0] is None
+    else:
+        assert indexed.rows[0][0] == pytest.approx(scan.rows[0][0])

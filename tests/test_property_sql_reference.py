@@ -1,0 +1,118 @@
+"""Property tests: the Hive executor vs a plain-Python reference.
+
+Index-equivalence tests (test_property_end_to_end) check indexed plans
+against scans; these check the *scan itself* — filters, grouping, joins,
+aggregates — against straight-line Python over the same rows.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hive.session import QueryOptions
+from tests.conftest import make_session
+
+SCAN = QueryOptions(use_index=False)
+
+row_strategy = st.tuples(
+    st.integers(0, 20),                                   # k
+    st.integers(0, 3),                                    # g
+    st.floats(-50, 50, allow_nan=False,
+              width=32).map(lambda f: round(f, 2)),       # v
+)
+
+
+def load(rows):
+    session = make_session(block_size=1024)
+    session.execute("CREATE TABLE t (k int, g int, v double)")
+    session.load_rows("t", rows)
+    return session
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.lists(row_strategy, min_size=1, max_size=80),
+       lo=st.integers(0, 20), width=st.integers(0, 15))
+def test_filtered_global_aggregates(rows, lo, width):
+    session = load(rows)
+    hi = lo + width
+    result = session.execute(
+        f"SELECT count(*), sum(v), min(v), max(v), avg(v) FROM t "
+        f"WHERE k >= {lo} AND k < {hi}", SCAN)
+    matching = [v for k, _g, v in rows if lo <= k < hi]
+    count, total, low, high, mean = result.rows[0]
+    assert count == len(matching)
+    if matching:
+        assert total == pytest.approx(sum(matching))
+        assert low == min(matching)
+        assert high == max(matching)
+        assert mean == pytest.approx(sum(matching) / len(matching))
+    else:
+        assert (total, low, high, mean) == (None, None, None, None)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.lists(row_strategy, min_size=1, max_size=80))
+def test_group_by_matches_reference(rows):
+    session = load(rows)
+    result = session.execute(
+        "SELECT g, count(*), sum(v) FROM t GROUP BY g", SCAN)
+    reference = {}
+    for _k, g, v in rows:
+        count, total = reference.get(g, (0, 0.0))
+        reference[g] = (count + 1, total + v)
+    assert len(result.rows) == len(reference)
+    for g, count, total in result.rows:
+        assert count == reference[g][0]
+        assert total == pytest.approx(reference[g][1])
+    assert [g for g, _c, _s in result.rows] == sorted(reference)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.lists(row_strategy, min_size=1, max_size=60),
+       names=st.lists(st.integers(0, 20), min_size=1, max_size=10,
+                      unique=True))
+def test_join_matches_reference(rows, names):
+    session = load(rows)
+    session.execute("CREATE TABLE d (k int, label string)")
+    session.load_rows("d", [(k, f"name-{k}") for k in names])
+    result = session.execute(
+        "SELECT d.label, t.v FROM t JOIN d ON t.k = d.k", SCAN)
+    expected = sorted((f"name-{k}", v) for k, _g, v in rows
+                      if k in set(names))
+    got = sorted(result.rows)
+    assert len(got) == len(expected)
+    for (left_label, left_v), (right_label, right_v) in zip(expected, got):
+        assert left_label == right_label
+        assert left_v == pytest.approx(right_v)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.lists(row_strategy, min_size=1, max_size=60),
+       limit=st.integers(1, 10))
+def test_order_by_limit_matches_reference(rows, limit):
+    session = load(rows)
+    result = session.execute(
+        f"SELECT g, sum(v) AS total FROM t GROUP BY g "
+        f"ORDER BY g DESC LIMIT {limit}", SCAN)
+    reference = {}
+    for _k, g, v in rows:
+        reference[g] = reference.get(g, 0.0) + v
+    expected = sorted(reference.items(), reverse=True)[:limit]
+    assert [g for g, _ in result.rows] == [g for g, _ in expected]
+    for (_, left), (_, right) in zip(result.rows, expected):
+        assert left == pytest.approx(right)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(rows=st.lists(row_strategy, min_size=1, max_size=60))
+def test_count_distinct_matches_reference(rows):
+    session = load(rows)
+    result = session.execute("SELECT count(DISTINCT k) FROM t", SCAN)
+    assert result.scalar() == len({k for k, _g, _v in rows})

@@ -1,0 +1,159 @@
+"""Tests for the B+-tree, buffer pool, and the Figure 3 write models."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdbms.btree import BPlusTree, BufferPool
+from repro.rdbms.writer import (RdbmsWriteConfig, measure_dbms_write,
+                                measure_hdfs_write)
+
+
+class TestBufferPool:
+    def test_hit_after_touch(self):
+        pool = BufferPool(capacity=2)
+        pool.touch(1)
+        pool.touch(1)
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(capacity=2)
+        pool.touch(1, dirty=True)
+        pool.touch(2)
+        pool.touch(3)  # evicts 1 (dirty)
+        assert pool.dirty_evictions == 1
+        pool.touch(1)  # miss again
+        assert pool.misses == 4
+
+    def test_move_to_end_on_touch(self):
+        pool = BufferPool(capacity=2)
+        pool.touch(1)
+        pool.touch(2)
+        pool.touch(1)  # refresh 1
+        pool.touch(3)  # should evict 2, not 1
+        pool.touch(1)
+        assert pool.hits == 2
+
+
+class TestBPlusTree:
+    def test_insert_search(self):
+        tree = BPlusTree(order=8)
+        for i in range(100):
+            tree.insert(i * 3, f"v{i}")
+        assert tree.search(30) == ["v10"]
+        assert tree.search(31) == []
+        assert tree.num_keys == 100
+
+    def test_duplicates(self):
+        tree = BPlusTree(order=8)
+        for i in range(5):
+            tree.insert(7, i)
+        assert sorted(tree.search(7)) == [0, 1, 2, 3, 4]
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=8)
+        for i in range(50):
+            tree.insert(i, i)
+        got = tree.range_scan(10, 20)
+        assert [k for k, _ in got] == list(range(10, 20))
+
+    def test_items_sorted(self):
+        tree = BPlusTree(order=6)
+        keys = list(range(200))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == list(range(200))
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=8)
+        for i in range(1000):
+            tree.insert(i, i)
+        assert 3 <= tree.height <= 6
+        assert tree.splits > 0
+
+    def test_random_keys_miss_more_than_sequential(self):
+        """The mechanism behind Figure 3: random keys thrash the pool."""
+        def build(keys):
+            tree = BPlusTree(order=16, pool=BufferPool(capacity=8))
+            for key in keys:
+                tree.insert(key, key)
+            return tree.pool.misses
+
+        sequential = build(list(range(3000)))
+        shuffled = list(range(3000))
+        random.Random(7).shuffle(shuffled)
+        assert build(shuffled) > 3 * sequential
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+
+@settings(max_examples=40, deadline=None)
+@given(keys=st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+       low=st.integers(-1000, 1000), width=st.integers(0, 500))
+def test_property_btree_matches_sorted_reference(keys, low, width):
+    tree = BPlusTree(order=6)
+    for i, key in enumerate(keys):
+        tree.insert(key, i)
+    high = low + width
+    expected = sorted((k, i) for i, k in enumerate(keys)
+                      if low <= k < high)
+    assert sorted(tree.range_scan(low, high)) == expected
+    assert [k for k, _ in tree.items()] == sorted(keys)
+
+
+def _rows(n, seed=1):
+    """Meter-like records (~110 bytes, as in the paper's table); userIds
+    shuffled so the index sees random keys while the heap stays
+    arrival-ordered."""
+    rng = random.Random(seed)
+    users = list(range(n))
+    rng.shuffle(users)
+    return [(u, rng.randint(0, 10), "2012-12-01",
+             round(rng.uniform(0, 50), 2),
+             *[round(rng.uniform(0, 100), 2) for _ in range(10)])
+            for u in users]
+
+
+class TestWriteThroughput:
+    def test_figure3_ordering(self):
+        rows = _rows(20000)
+        with_index = measure_dbms_write(rows, 0, with_index=True)
+        without = measure_dbms_write(rows, 0, with_index=False)
+        hdfs = measure_hdfs_write(rows)
+        assert with_index.mb_per_second < without.mb_per_second \
+            < hdfs.mb_per_second
+        # the paper's rough bands (log2 axis, 1..64 MB/s)
+        assert 1 <= with_index.mb_per_second <= 8
+        assert 4 <= without.mb_per_second <= 20
+        assert 16 <= hdfs.mb_per_second <= 80
+
+    def test_index_stats_reported(self):
+        result = measure_dbms_write(_rows(5000), 0, with_index=True)
+        assert result.pool_misses > 0
+        assert result.page_splits > 0
+        without = measure_dbms_write(_rows(5000), 0, with_index=False)
+        assert without.pool_misses == 0
+
+    def test_hdfs_write_actually_writes(self):
+        from repro.hdfs.filesystem import HDFS
+        fs = HDFS(num_datanodes=4)
+        result = measure_hdfs_write(_rows(1000), fs=fs,
+                                    parallel_clients=2)
+        assert result.rows == 1000
+        assert fs.exists("/ingest/client-0")
+        assert fs.total_size("/ingest") == result.bytes_written
+
+    def test_config_sensitivity(self):
+        rows = _rows(8000)
+        slow = measure_dbms_write(
+            rows, 0, with_index=True,
+            config=RdbmsWriteConfig(random_io_seconds=500e-6))
+        fast = measure_dbms_write(
+            rows, 0, with_index=True,
+            config=RdbmsWriteConfig(random_io_seconds=10e-6))
+        assert slow.mb_per_second < fast.mb_per_second

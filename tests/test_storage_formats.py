@@ -1,0 +1,210 @@
+"""Tests for the three file formats, including split-boundary semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageFormatError
+from repro.hdfs.filesystem import HDFS
+from repro.storage.rcfile import RCFileReader, RCFileWriter
+from repro.storage.schema import DataType, Schema
+from repro.storage.sequencefile import SequenceFileReader, SequenceFileWriter
+from repro.storage.textfile import (TextFileReader, TextFileWriter,
+                                    parse_line, serialize_row)
+
+
+def write_text(fs, path, schema, rows):
+    offsets = []
+    with fs.create(path) as stream:
+        writer = TextFileWriter(stream, schema)
+        for row in rows:
+            offsets.append(writer.write_row(row))
+    return offsets
+
+
+def rows_of(n):
+    return [(i, i * 0.5, f"s{i}") for i in range(n)]
+
+
+class TestTextFile:
+    def test_roundtrip(self, fs, simple_schema):
+        rows = rows_of(50)
+        write_text(fs, "/f", simple_schema, rows)
+        with fs.open("/f") as stream:
+            got = [r for _, r in
+                   TextFileReader(stream, simple_schema).iter_rows()]
+        assert got == rows
+
+    def test_offsets_point_at_rows(self, fs, simple_schema):
+        rows = rows_of(20)
+        offsets = write_text(fs, "/f", simple_schema, rows)
+        with fs.open("/f") as stream:
+            reader = TextFileReader(stream, simple_schema)
+            assert reader.read_row_at(offsets[7]) == rows[7]
+            assert reader.read_row_at(offsets[0]) == rows[0]
+
+    def test_delimiter_in_field_rejected(self, simple_schema):
+        with pytest.raises(StorageFormatError):
+            serialize_row((1, 2.0, "bad|field"), simple_schema)
+
+    def test_parse_line_arity_check(self, simple_schema):
+        with pytest.raises(StorageFormatError):
+            parse_line("1|2.0", simple_schema)
+
+    def test_range_yields_lines_starting_in_range(self, fs, simple_schema):
+        rows = rows_of(30)
+        offsets = write_text(fs, "/f", simple_schema, rows)
+        start, end = offsets[10], offsets[20]
+        with fs.open("/f") as stream:
+            got = [r for _, r in TextFileReader(
+                stream, simple_schema).iter_rows(start, end)]
+        assert got == rows[10:20]
+
+    def test_mid_line_start_skips_partial(self, fs, simple_schema):
+        rows = rows_of(10)
+        offsets = write_text(fs, "/f", simple_schema, rows)
+        with fs.open("/f") as stream:
+            got = [r for _, r in TextFileReader(
+                stream, simple_schema).iter_rows(offsets[3] + 1, None)]
+        assert got == rows[4:]
+
+    @settings(max_examples=30, deadline=None)
+    @given(cuts=st.lists(st.integers(min_value=1, max_value=2000),
+                         min_size=1, max_size=6))
+    def test_split_tiling_never_loses_or_duplicates(self, cuts):
+        """Any partition of the byte range into splits covers every row
+        exactly once — the invariant MapReduce split processing needs."""
+        schema = Schema.of(("a", DataType.INT), ("b", DataType.STRING))
+        fs = HDFS(num_datanodes=2, block_size=512)
+        rows = [(i, f"value-{i}") for i in range(120)]
+        with fs.create("/f") as stream:
+            writer = TextFileWriter(stream, schema)
+            writer.write_rows(rows)
+        length = fs.file_length("/f")
+        bounds = sorted({0, length, *[c % (length + 1) for c in cuts]})
+        collected = []
+        with fs.open("/f") as stream:
+            reader = TextFileReader(stream, schema)
+            for start, end in zip(bounds, bounds[1:]):
+                collected.extend(
+                    r for _, r in reader.iter_rows(start, end))
+        assert sorted(collected) == rows
+
+
+class TestRCFile:
+    def test_roundtrip_multiple_groups(self, fs, simple_schema):
+        rows = rows_of(100)
+        with fs.create("/rc") as stream:
+            writer = RCFileWriter(stream, simple_schema, row_group_size=16)
+            writer.write_rows(rows)
+            writer.close()
+        with fs.open("/rc") as stream:
+            reader = RCFileReader(stream, simple_schema)
+            got = [r for _, r in reader.iter_rows()]
+        assert got == rows
+
+    def test_group_enumeration(self, fs, simple_schema):
+        with fs.create("/rc") as stream:
+            writer = RCFileWriter(stream, simple_schema, row_group_size=10)
+            writer.write_rows(rows_of(35))
+            writer.close()
+        with fs.open("/rc") as stream:
+            groups = list(RCFileReader(stream,
+                                       simple_schema).iter_groups())
+        assert [n for _, n in groups] == [10, 10, 10, 5]
+        assert groups[0][0] == 0
+
+    def test_column_pruning_reads_fewer_bytes(self, fs, simple_schema):
+        with fs.create("/rc") as stream:
+            writer = RCFileWriter(stream, simple_schema, row_group_size=32)
+            writer.write_rows(rows_of(200))
+            writer.close()
+        before = fs.io.snapshot()
+        with fs.open("/rc") as stream:
+            full = [r for _, r in
+                    RCFileReader(stream, simple_schema).iter_rows()]
+        full_bytes = fs.io.delta(before).bytes_read
+        before = fs.io.snapshot()
+        with fs.open("/rc") as stream:
+            pruned = [r for _, r in RCFileReader(
+                stream, simple_schema).iter_rows(columns=["a"])]
+        pruned_bytes = fs.io.delta(before).bytes_read
+        assert pruned_bytes < full_bytes
+        assert [r[0] for r in pruned] == [r[0] for r in full]
+        assert all(r[1] is None and r[2] is None for r in pruned)
+
+    def test_row_filter(self, fs, simple_schema):
+        with fs.create("/rc") as stream:
+            writer = RCFileWriter(stream, simple_schema, row_group_size=8)
+            writer.write_rows(rows_of(16))
+            writer.close()
+        with fs.open("/rc") as stream:
+            reader = RCFileReader(stream, simple_schema)
+            got = [r for _, r in reader.iter_rows(
+                row_filter=lambda _off, i: i % 2 == 0)]
+        assert [r[0] for r in got] == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_flush_forces_group_boundary(self, fs, simple_schema):
+        with fs.create("/rc") as stream:
+            writer = RCFileWriter(stream, simple_schema,
+                                  row_group_size=1000)
+            writer.write_rows(rows_of(5))
+            writer.flush()
+            boundary = writer.pos
+            writer.write_rows(rows_of(3))
+            writer.close()
+        with fs.open("/rc") as stream:
+            groups = list(RCFileReader(stream,
+                                       simple_schema).iter_groups())
+        assert [n for _, n in groups] == [5, 3]
+        assert groups[1][0] == boundary
+
+    def test_corrupt_offset_detected(self, fs, simple_schema):
+        with fs.create("/rc") as stream:
+            writer = RCFileWriter(stream, simple_schema)
+            writer.write_rows(rows_of(4))
+            writer.close()
+        with fs.open("/rc") as stream:
+            reader = RCFileReader(stream, simple_schema)
+            with pytest.raises(StorageFormatError):
+                list(reader.iter_rows(start=3))
+
+    def test_bad_row_group_size(self, fs, simple_schema):
+        with pytest.raises(StorageFormatError):
+            RCFileWriter(fs.create("/rc"), simple_schema, row_group_size=0)
+
+
+class TestSequenceFile:
+    def test_roundtrip(self, fs):
+        with fs.create("/sq") as stream:
+            writer = SequenceFileWriter(stream)
+            offsets = [writer.append(f"k{i}".encode(), f"v{i}".encode())
+                       for i in range(20)]
+        with fs.open("/sq") as stream:
+            records = list(SequenceFileReader(stream).iter_records())
+        assert [(k, v) for _, k, v in records] \
+            == [(f"k{i}".encode(), f"v{i}".encode()) for i in range(20)]
+        assert [o for o, _, _ in records] == offsets
+
+    def test_range_read(self, fs):
+        with fs.create("/sq") as stream:
+            writer = SequenceFileWriter(stream)
+            offsets = [writer.append(b"", f"v{i}".encode())
+                       for i in range(10)]
+        with fs.open("/sq") as stream:
+            got = [v for _, _, v in SequenceFileReader(stream)
+                   .iter_records(offsets[3], offsets[7])]
+        assert got == [f"v{i}".encode() for i in range(3, 7)]
+
+    def test_bad_magic(self, fs):
+        fs.write_bytes("/junk", b"not a sequence file")
+        with fs.open("/junk") as stream:
+            with pytest.raises(StorageFormatError):
+                SequenceFileReader(stream)
+
+    def test_empty_key_and_value(self, fs):
+        with fs.create("/sq") as stream:
+            SequenceFileWriter(stream).append(b"", b"")
+        with fs.open("/sq") as stream:
+            records = list(SequenceFileReader(stream).iter_records())
+        assert records[0][1:] == (b"", b"")

@@ -1,0 +1,100 @@
+"""Tests for column types and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import (Column, DataType, Schema, date_to_ordinal,
+                                  ordinal_to_date)
+
+
+class TestDataType:
+    def test_int_roundtrip(self):
+        assert DataType.INT.parse(DataType.INT.serialize(42)) == 42
+
+    def test_double_roundtrip_exact(self):
+        value = 0.1 + 0.2  # notoriously unrepresentable
+        text = DataType.DOUBLE.serialize(value)
+        assert DataType.DOUBLE.parse(text) == value
+
+    def test_string_verbatim(self):
+        assert DataType.STRING.parse("hi there") == "hi there"
+
+    def test_date_kept_as_iso(self):
+        assert DataType.DATE.parse("2012-12-01") == "2012-12-01"
+
+    def test_validate_accepts(self):
+        DataType.BIGINT.validate(10)
+        DataType.DOUBLE.validate(1)  # ints are valid doubles
+        DataType.DATE.validate("2014-07-09")
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            DataType.INT.validate("5")
+
+    def test_validate_rejects_bad_date(self):
+        with pytest.raises(SchemaError):
+            DataType.DATE.validate("12/30/2012")
+
+    def test_is_numeric(self):
+        assert DataType.DOUBLE.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_date_ordinal_roundtrip(self):
+        assert ordinal_to_date(date_to_ordinal("2012-12-30")) == "2012-12-30"
+
+    def test_date_ordinal_arithmetic(self):
+        assert date_to_ordinal("2012-12-02") \
+            == date_to_ordinal("2012-12-01") + 1
+
+
+class TestColumn:
+    def test_valid_name(self):
+        Column("user_id", DataType.BIGINT)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", DataType.INT)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.INT)
+
+
+class TestSchema:
+    def test_of_shorthand(self, simple_schema):
+        assert simple_schema.names() == ["a", "b", "c"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", DataType.INT), ("A", DataType.INT))
+
+    def test_index_of_case_insensitive(self, simple_schema):
+        assert simple_schema.index_of("B") == 1
+
+    def test_index_of_unknown(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.index_of("zz")
+
+    def test_validate_row(self, simple_schema):
+        simple_schema.validate_row((1, 2.0, "x"))
+
+    def test_validate_row_wrong_arity(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.validate_row((1, 2.0))
+
+    def test_validate_row_wrong_type(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.validate_row((1, "not-a-number", "x"))
+
+    def test_project(self, simple_schema):
+        projected = simple_schema.project(["c", "a"])
+        assert projected.names() == ["c", "a"]
+
+    def test_equality(self, simple_schema):
+        clone = Schema.of(("a", DataType.INT), ("b", DataType.DOUBLE),
+                          ("c", DataType.STRING))
+        assert simple_schema == clone
