@@ -1,0 +1,43 @@
+"""Micro-benchmark: the parallel engine must not be slower than the
+sequential one on a Fig. 8-sized aggregation workload.
+
+This is about the reproduction's *own* wall-clock, not simulated paper
+seconds (those are identical by the differential-harness guarantee).
+Under CPython's GIL a thread pool cannot multiply CPU-bound throughput,
+so the assertion is "no slower" with a small tolerance for pool
+bookkeeping; the measured speedup is recorded in the bench report
+(`parallel-speedup` section of EXPERIMENTS.md via
+``repro.bench.experiments.parallel_speedup``).
+"""
+
+import pytest
+
+from repro.bench import experiments as exps
+
+pytestmark = pytest.mark.slow
+
+# sequential must not beat parallel by more than this factor (GIL
+# bookkeeping plus scheduler noise; min-of-rounds already smooths most)
+TOLERANCE = 1.3
+
+
+@pytest.fixture(scope="module")
+def speedup_experiment(meter_lab):
+    return exps.parallel_speedup(meter_lab, workers=4, rounds=5)
+
+
+def test_parallel_not_slower(speedup_experiment):
+    timings = speedup_experiment.data["timings"]
+    sequential = timings["sequential"]
+    parallel = timings["parallel(4)"]
+    assert parallel <= sequential * TOLERANCE, (
+        f"parallel engine {parallel:.3f}s vs sequential "
+        f"{sequential:.3f}s exceeds the {TOLERANCE}x tolerance")
+
+
+def test_speedup_recorded_in_report(speedup_experiment):
+    assert speedup_experiment.exp_id == "parallel-speedup"
+    assert speedup_experiment.data["speedup"] > 0
+    assert speedup_experiment.data["timings"]["sequential"] > 0
+    rendered = speedup_experiment.markdown()
+    assert "sequential" in rendered and "parallel(4)" in rendered

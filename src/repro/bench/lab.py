@@ -77,9 +77,18 @@ class MeterLab:
         self._hadoopdb: Optional[HadoopDB] = None
 
     # ------------------------------------------------------------- sessions
-    def _new_session(self) -> HiveSession:
-        session = HiveSession(data_scale=self.data_scale)
+    def _new_session(self, execution=None) -> HiveSession:
+        session = HiveSession(data_scale=self.data_scale,
+                              execution=execution)
         session.fs.block_size = self.config.block_bytes
+        return session
+
+    def session_with_execution(self, execution=None) -> HiveSession:
+        """A fresh, *uncached* TEXTFILE session on the given
+        :class:`~repro.mapreduce.cluster.ExecutionConfig` — used by the
+        parallel-speedup benchmark to compare engine modes on equal data."""
+        session = self._new_session(execution)
+        self._load_meter(session, "TEXTFILE")
         return session
 
     def _load_meter(self, session: HiveSession, stored_as: str) -> None:

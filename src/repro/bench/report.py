@@ -69,6 +69,8 @@ def run_all(meter_config: Optional[MeterLabConfig] = None,
         ("Figures 14-16", lambda: exps.join_queries(lab)),
         ("Figure 17", lambda: exps.partial_query(lab)),
         ("Tables 5-6 + Figure 18", lambda: exps.tpch_q6(tpch)),
+        ("Ablation: parallel engine speedup",
+         lambda: exps.parallel_speedup(lab)),
         ("Ablation: policy advisor", lambda: exps.ablation_advisor(lab)),
         ("Ablation: base formats", lambda: exps.ablation_formats(lab)),
         ("Partition explosion", lambda: exps.partition_explosion()),

@@ -110,7 +110,6 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
     store = DgfStore(session.kvstore, table.name, index.name)
     dim_positions = [table.schema.index_of(name) for name in policy.names]
     merge_fns = {agg.key: agg.function for agg in aggregates}
-    slices_written = [0]
 
     def mapper(offset, row, ctx):
         values = [row[p] for p in dim_positions]
@@ -137,7 +136,9 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
                          locations=[SliceLocation(writer.path, start, end)],
                          records=len(rows))
         store.merge_value(gfu_key, value, merge_fns)
-        slices_written[0] += 1
+        # Task-local counter (merged at the reduce barrier): safe under the
+        # parallel engine, unlike a shared closure cell.
+        ctx.counter("dgf", "slices_written")
 
     def reduce_cleanup(ctx):
         ctx.state["writer"].close()
@@ -156,7 +157,7 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
               partitioner=partitioner,
               reduce_setup=reduce_setup, reduce_cleanup=reduce_cleanup)
     result = session.engine.run(job)
-    return result.stats, slices_written[0]
+    return result.stats, result.counters.get("dgf", "slices_written")
 
 
 def compute_bounds(store: DgfStore,

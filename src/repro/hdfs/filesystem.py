@@ -7,6 +7,7 @@ splits per file.  Replication defaults to 2, the paper's setting.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -134,7 +135,14 @@ class HDFSReader:
 
 
 class HDFS:
-    """The simulated distributed filesystem."""
+    """The simulated distributed filesystem.
+
+    Namespace mutations and block flushes are serialized by a lock so
+    concurrent tasks of the parallel MapReduce engine can create and write
+    distinct files safely; reads stay lock-free (block bytes are immutable
+    once flushed, and read accounting is task-local — see
+    :func:`repro.hdfs.metrics.task_io_scope`).
+    """
 
     def __init__(self, num_datanodes: int = 4,
                  block_size: int = DEFAULT_BLOCK_SIZE,
@@ -147,10 +155,12 @@ class HDFS:
         self.datanodes = [DataNode(i) for i in range(num_datanodes)]
         self.io = IOStats()
         self._placement_cursor = 0
+        self._mutate_lock = threading.RLock()
 
     # ------------------------------------------------------------- namespace
     def mkdirs(self, path: str) -> None:
-        self.namenode.mkdirs(path)
+        with self._mutate_lock:
+            self.namenode.mkdirs(path)
 
     def exists(self, path: str) -> bool:
         return self.namenode.exists(path)
@@ -163,10 +173,11 @@ class HDFS:
         return list(self.namenode.walk_files(path))
 
     def delete(self, path: str, recursive: bool = False) -> None:
-        freed = self.namenode.delete(path, recursive=recursive)
-        for block in freed:
-            for node_id in block.datanodes:
-                self.datanodes[node_id].drop(block.block_id)
+        with self._mutate_lock:
+            freed = self.namenode.delete(path, recursive=recursive)
+            for block in freed:
+                for node_id in block.datanodes:
+                    self.datanodes[node_id].drop(block.block_id)
 
     def status(self, path: str) -> FileStatus:
         node = self.namenode.get(path)
@@ -183,7 +194,8 @@ class HDFS:
 
     # ----------------------------------------------------------------- files
     def create(self, path: str, overwrite: bool = False) -> HDFSWriter:
-        node = self.namenode.create_file(path, overwrite=overwrite)
+        with self._mutate_lock:
+            node = self.namenode.create_file(path, overwrite=overwrite)
         return HDFSWriter(self, node, path)
 
     def open(self, path: str) -> HDFSReader:
@@ -210,10 +222,11 @@ class HDFS:
         return picked
 
     def _flush_block(self, node: INode, data: bytes) -> None:
-        locations = self._pick_datanodes()
-        block = self.namenode.allocate_block(node, len(data), locations)
-        for node_id in locations:
-            self.datanodes[node_id].store(block.block_id, data)
+        with self._mutate_lock:
+            locations = self._pick_datanodes()
+            block = self.namenode.allocate_block(node, len(data), locations)
+            for node_id in locations:
+                self.datanodes[node_id].store(block.block_id, data)
         # Global accounting counts the logical write once (not per replica);
         # replica traffic is modelled by the cost model's replication factor.
         self.io.record_write(len(data))

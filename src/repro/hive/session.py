@@ -36,7 +36,8 @@ from repro.hive.metastore import (IndexInfo, Metastore, TableInfo, parse_type)
 from repro.hiveql import ast, parse
 from repro.hiveql.predicates import extract_ranges
 from repro.kvstore.hbase import KVStore
-from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
+from repro.mapreduce.cluster import (PAPER_CLUSTER, ClusterConfig,
+                                     ExecutionConfig)
 from repro.mapreduce.cost import CostModel, JobStats, TimeBreakdown
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.splits import FileSplit
@@ -99,13 +100,19 @@ class HiveSession:
                  kvstore: Optional[KVStore] = None,
                  cluster: ClusterConfig = PAPER_CLUSTER,
                  data_scale: float = 1.0,
-                 num_datanodes: int = 4):
+                 num_datanodes: int = 4,
+                 execution: Optional[ExecutionConfig] = None):
         self.fs = fs if fs is not None else HDFS(num_datanodes=num_datanodes)
         self.kvstore = kvstore if kvstore is not None else KVStore()
         self.cluster = cluster
         self.cost_model = CostModel(cluster, data_scale=data_scale)
         self.metastore = Metastore()
-        self.engine = MapReduceEngine(self.fs)
+        # ``execution`` controls *real* in-process task parallelism (thread
+        # pool size); results are byte-identical for every setting, and the
+        # sequential default keeps calibrated benchmark numbers unchanged.
+        self.execution = execution if execution is not None \
+            else ExecutionConfig()
+        self.engine = MapReduceEngine(self.fs, execution=self.execution)
         self._handlers: Dict[str, IndexHandler] = {}
         self._load_counters: Dict[str, int] = {}
         self._register_default_handlers()

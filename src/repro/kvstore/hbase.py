@@ -13,6 +13,7 @@ serialized-size estimator.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -35,7 +36,14 @@ class Region:
 
 
 class KVStore:
-    """Sorted key-value store with HBase-flavoured operations."""
+    """Sorted key-value store with HBase-flavoured operations.
+
+    Point operations (get/put/contains/delete) are serialized by a lock so
+    the parallel MapReduce engine's reduce tasks — which put GFU entries
+    concurrently during a DGFIndex build — never corrupt the region lists
+    or race on the op counters.  ``scan`` is a generator and is *not*
+    locked; it is only used by the single-threaded planner/metadata paths.
+    """
 
     def __init__(self, max_region_keys: int = DEFAULT_MAX_REGION_KEYS):
         if max_region_keys < 2:
@@ -43,6 +51,7 @@ class KVStore:
         self.max_region_keys = max_region_keys
         self._regions: List[Region] = [Region(start_key="")]
         self.stats = KVStats()
+        self._lock = threading.RLock()
 
     # --------------------------------------------------------------- regions
     @property
@@ -69,20 +78,22 @@ class KVStore:
     def put(self, key: str, value: Any) -> None:
         if not isinstance(key, str):
             raise KVStoreError(f"keys must be strings, got {type(key)}")
-        region = self._region_for(key)
-        if key not in region.values:
-            bisect.insort(region.keys, key)
-        region.values[key] = value
-        self.stats.puts += 1
-        self._maybe_split(region)
+        with self._lock:
+            region = self._region_for(key)
+            if key not in region.values:
+                bisect.insort(region.keys, key)
+            region.values[key] = value
+            self.stats.puts += 1
+            self._maybe_split(region)
 
     def put_all(self, items: Dict[str, Any]) -> None:
         for key, value in items.items():
             self.put(key, value)
 
     def get(self, key: str) -> Optional[Any]:
-        self.stats.gets += 1
-        return self._region_for(key).values.get(key)
+        with self._lock:
+            self.stats.gets += 1
+            return self._region_for(key).values.get(key)
 
     def multi_get(self, keys) -> Dict[str, Any]:
         """Batch get; missing keys are omitted from the result."""
@@ -94,17 +105,19 @@ class KVStore:
         return out
 
     def delete(self, key: str) -> bool:
-        region = self._region_for(key)
-        if key not in region.values:
-            return False
-        del region.values[key]
-        idx = bisect.bisect_left(region.keys, key)
-        del region.keys[idx]
-        return True
+        with self._lock:
+            region = self._region_for(key)
+            if key not in region.values:
+                return False
+            del region.values[key]
+            idx = bisect.bisect_left(region.keys, key)
+            del region.keys[idx]
+            return True
 
     def contains(self, key: str) -> bool:
-        self.stats.gets += 1
-        return key in self._region_for(key).values
+        with self._lock:
+            self.stats.gets += 1
+            return key in self._region_for(key).values
 
     def scan(self, start_key: str = "", stop_key: Optional[str] = None
              ) -> Iterator[Tuple[str, Any]]:

@@ -11,6 +11,7 @@ experiment.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.common.units import MiB
@@ -54,3 +55,44 @@ class ClusterConfig:
 
 #: The paper's cluster, used by all experiments unless overridden.
 PAPER_CLUSTER = ClusterConfig()
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the *real* in-process engine schedules tasks.
+
+    Distinct from :class:`ClusterConfig`, which parameterizes the paper's
+    *simulated* cluster for the cost model: ``max_workers`` controls how
+    many OS threads actually run map and reduce tasks concurrently.
+
+    ``max_workers=1`` (the default) is the fully sequential engine that all
+    benchmark numbers were calibrated on; ``0`` means "one worker per CPU
+    core".  Every setting produces a byte-identical
+    :class:`~repro.mapreduce.job.JobResult` — rows, counters and per-task
+    stats — because tasks accumulate state locally and the engine merges
+    task results in deterministic split/partition order at each phase
+    barrier.  The differential harness (``tests/harness/differential.py``)
+    enforces that guarantee.
+    """
+
+    max_workers: int = 1
+
+    def __post_init__(self):
+        if self.max_workers < 0:
+            raise ValueError(
+                f"max_workers must be >= 0 (0 = one per CPU core), "
+                f"got {self.max_workers}")
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.worker_count() > 1
+
+    def worker_count(self) -> int:
+        """The resolved number of task-execution threads."""
+        if self.max_workers == 0:
+            return os.cpu_count() or 1
+        return self.max_workers
+
+
+#: The default: the deterministic single-threaded engine.
+SEQUENTIAL = ExecutionConfig(max_workers=1)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.mapreduce.cluster import ClusterConfig, PAPER_CLUSTER
 
@@ -49,6 +49,25 @@ class JobStats:
         self.shuffle_bytes += other.shuffle_bytes
         self.reduce_input_records += other.reduce_input_records
         self.output_bytes += other.output_bytes
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Measured facts about one executed task (map or reduce).
+
+    The engine records one entry per task in
+    :attr:`repro.mapreduce.job.JobResult.task_stats`, in deterministic task
+    order regardless of how many worker threads executed the job, so the
+    cost model can consume measured per-task counters instead of assuming
+    the serial-order even split that :class:`JobStats` aggregates imply.
+    """
+
+    task_id: int
+    kind: str  # "map" | "reduce"
+    input_records: int = 0
+    output_records: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
 
 
 @dataclass
@@ -127,6 +146,52 @@ class CostModel:
             reduce_waves = math.ceil(reduce_tasks / c.total_reduce_slots)
             reduce_time = (reduce_waves * c.task_startup_seconds
                            + (reduce_in + out_bytes)
+                           * c.reduce_seconds_per_byte / reduce_slots_used)
+
+        launch = c.job_launch_seconds if include_launch else 0.0
+        return TimeBreakdown(
+            read_index_and_other=launch,
+            read_data_and_process=map_time + shuffle_time + reduce_time)
+
+    def job_seconds_measured(self, stats: JobStats,
+                             tasks: Sequence[TaskStats],
+                             include_launch: bool = True) -> TimeBreakdown:
+        """Slot/wave model fed by *measured per-task* counters.
+
+        :meth:`job_seconds` assumes every map task processed an equal share
+        of the input.  The engine measures each task's exact bytes and
+        records, so here the map phase ends when the most-loaded slot
+        drains: tasks are assigned to slots round-robin in task order and
+        a wave is as slow as its largest straggler.  Shuffle and reduce
+        reuse the balanced formulas (the in-memory shuffle does not
+        attribute bytes per reduce task).  Falls back to :meth:`job_seconds`
+        when no map tasks were recorded (e.g. results from older runs).
+        """
+        c = self.cluster
+        map_tasks = [t for t in tasks if t.kind == "map"]
+        if not map_tasks:
+            return self.job_seconds(stats, include_launch=include_launch)
+        scale = self.data_scale
+        slots = max(1, min(len(map_tasks), c.total_map_slots))
+        slot_seconds = [0.0] * slots
+        for index, task in enumerate(map_tasks):
+            slot_seconds[index % slots] += (
+                task.input_bytes * scale / c.per_slot_disk_bandwidth
+                + task.input_records * scale * c.cpu_seconds_per_record)
+        map_waves = math.ceil(len(map_tasks) / c.total_map_slots)
+        map_time = map_waves * c.task_startup_seconds + max(slot_seconds)
+
+        shuffle = stats.shuffle_bytes * scale
+        shuffle_time = shuffle / (c.num_workers
+                                  * c.per_worker_network_bandwidth)
+        reduce_time = 0.0
+        if stats.reduce_tasks:
+            reduce_slots_used = max(1, min(stats.reduce_tasks,
+                                           c.total_reduce_slots))
+            reduce_waves = math.ceil(stats.reduce_tasks
+                                     / c.total_reduce_slots)
+            reduce_time = (reduce_waves * c.task_startup_seconds
+                           + (shuffle + stats.output_bytes * scale)
                            * c.reduce_seconds_per_byte / reduce_slots_used)
 
         launch = c.job_launch_seconds if include_launch else 0.0

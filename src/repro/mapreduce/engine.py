@@ -1,18 +1,30 @@
 """The in-process MapReduce job runner.
 
-Execution is sequential and deterministic (tasks in split order, reduce keys
-in sorted order) so tests and benchmarks are exactly reproducible; the
-*parallel* behaviour of the paper's cluster is recovered afterwards by the
+Tasks run either sequentially (the default) or on a thread pool
+(:class:`~repro.mapreduce.cluster.ExecutionConfig` with ``max_workers > 1``),
+and the two modes produce **byte-identical** :class:`JobResult`s: every map
+and reduce task accumulates its counters and I/O stats task-locally (see
+:func:`repro.hdfs.metrics.task_io_scope`), and the engine merges task
+outcomes at each phase barrier in deterministic order — split order for map
+tasks, partition order for reduce tasks, with reduce keys processed in
+sorted order inside each partition.  The differential harness
+(``tests/harness/differential.py``) enforces this equivalence for generated
+workloads; the *simulated* parallelism of the paper's cluster remains the
 cost model's slot/wave arithmetic over the measured counters.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, List, Tuple
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.hdfs.filesystem import HDFS
+from repro.hdfs.metrics import task_io_scope
+from repro.mapreduce.cluster import ExecutionConfig, SEQUENTIAL
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.cost import TaskStats
 from repro.mapreduce.job import Job, JobResult, TaskContext
 
 
@@ -20,7 +32,10 @@ def estimate_size(obj: Any) -> int:
     """Cheap serialized-size estimate used for shuffle-byte accounting.
 
     Models Hadoop's writable encoding: small fixed overhead per value plus
-    the payload size; containers add their elements.
+    the payload size; containers add their elements.  Unordered containers
+    (dicts, sets) sum their per-entry sizes in sorted order so the result —
+    and therefore the shuffle-byte counters merged under the parallel
+    engine — is identical for any insertion order or hash seed.
     """
     if obj is None:
         return 1
@@ -34,11 +49,13 @@ def estimate_size(obj: Any) -> int:
         return len(obj)
     if isinstance(obj, bytes):
         return len(obj)
-    if isinstance(obj, (tuple, list, set, frozenset)):
+    if isinstance(obj, (tuple, list)):
         return 4 + sum(estimate_size(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        return 4 + sum(sorted(estimate_size(v) for v in obj))
     if isinstance(obj, dict):
-        return 4 + sum(estimate_size(k) + estimate_size(v)
-                       for k, v in obj.items())
+        return 4 + sum(sorted(estimate_size(k) + estimate_size(v)
+                              for k, v in obj.items()))
     return 16
 
 
@@ -48,15 +65,39 @@ def stable_hash(key: Any) -> int:
     return zlib.crc32(repr(key).encode("utf-8"))
 
 
+@dataclass
+class _TaskOutcome:
+    """Everything one task hands back to the barrier merge."""
+
+    task_id: int
+    emits: List[Tuple[Any, Any]]
+    counters: Counters
+    input_records: int = 0
+    output_records: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+    def stats(self, kind: str) -> TaskStats:
+        return TaskStats(task_id=self.task_id, kind=kind,
+                         input_records=self.input_records,
+                         output_records=self.output_records,
+                         input_bytes=self.input_bytes,
+                         output_bytes=self.output_bytes)
+
+
 class MapReduceEngine:
     """Runs :class:`~repro.mapreduce.job.Job` objects against an HDFS."""
 
-    def __init__(self, fs: HDFS):
+    def __init__(self, fs: HDFS, execution: Optional[ExecutionConfig] = None):
         self.fs = fs
+        self.execution = execution if execution is not None else SEQUENTIAL
         self.jobs_run = 0
 
     def run(self, job: Job) -> JobResult:
         job.validate()
+        execution = job.execution if job.execution is not None \
+            else self.execution
+        workers = execution.worker_count()
         result = JobResult(job_name=job.name)
         stats = result.stats
         counters = result.counters
@@ -68,29 +109,26 @@ class MapReduceEngine:
 
         num_partitions = max(1, job.num_reducers)
         partitioner = job.partitioner or stable_hash
-        # partition -> key -> list of values
+
+        map_outcomes = self._run_phase(
+            [lambda tid=task_id, s=split: self._map_task(job, tid, s)
+             for task_id, split in enumerate(splits)], workers)
+
+        # Barrier: merge map outcomes in split order, so shuffle value
+        # lists, counters and stats are identical for any worker count.
         shuffle: List[Dict[Any, List[Any]]] = [dict()
                                                for _ in range(num_partitions)]
         map_only_output: List[Tuple[Any, Any]] = []
-
-        for task_id, split in enumerate(splits):
-            task_emits: List[Tuple[Any, Any]] = []
-            ctx = TaskContext(task_id, self.fs, counters,
-                              lambda k, v, buf=task_emits: buf.append((k, v)))
-            ctx.split = split
-            before = self.fs.io.snapshot()
-            for key, value in job.input_format.read_split(self.fs, split):
-                stats.map_input_records += 1
-                job.mapper(key, value, ctx)
-            stats.map_input_bytes += self.fs.io.delta(before).bytes_read
-            stats.map_output_records += len(task_emits)
-
+        for outcome in map_outcomes:
+            stats.map_input_records += outcome.input_records
+            stats.map_input_bytes += outcome.input_bytes
+            stats.map_output_records += outcome.output_records
+            counters.merge(outcome.counters)
+            result.task_stats.append(outcome.stats("map"))
             if job.reducer is None:
-                map_only_output.extend(task_emits)
+                map_only_output.extend(outcome.emits)
                 continue
-            if job.combiner is not None:
-                task_emits = self._combine(job, task_emits, counters)
-            for key, value in task_emits:
+            for key, value in outcome.emits:
                 stats.shuffle_bytes += estimate_size(key) + estimate_size(value)
                 bucket = shuffle[partitioner(key) % num_partitions]
                 bucket.setdefault(key, []).append(value)
@@ -101,31 +139,74 @@ class MapReduceEngine:
             self.jobs_run += 1
             return result
 
-        before_reduce = self.fs.io.snapshot()
-        for task_id, bucket in enumerate(shuffle):
-            if not bucket and num_partitions > 1:
-                continue
-            reduce_emits: List[Tuple[Any, Any]] = []
-            ctx = TaskContext(task_id, self.fs, counters,
-                              lambda k, v, buf=reduce_emits: buf.append((k, v)))
+        reduce_outcomes = self._run_phase(
+            [lambda tid=task_id, b=bucket: self._reduce_task(job, tid, b)
+             for task_id, bucket in enumerate(shuffle)
+             if bucket or num_partitions == 1], workers)
+        for outcome in reduce_outcomes:
             stats.reduce_tasks += 1
-            if job.reduce_setup is not None:
-                job.reduce_setup(ctx)
-            try:
-                for key in sorted(bucket):
-                    values = bucket[key]
-                    stats.reduce_input_records += len(values)
-                    job.reducer(key, values, ctx)
-            finally:
-                if job.reduce_cleanup is not None:
-                    job.reduce_cleanup(ctx)
-            result.output.extend(reduce_emits)
-        stats.output_bytes += self.fs.io.delta(before_reduce).bytes_written
+            stats.reduce_input_records += outcome.input_records
+            stats.output_bytes += outcome.output_bytes
+            counters.merge(outcome.counters)
+            result.task_stats.append(outcome.stats("reduce"))
+            result.output.extend(outcome.emits)
 
         counters.set("job", "map_tasks", stats.map_tasks)
         counters.set("job", "reduce_tasks", stats.reduce_tasks)
         self.jobs_run += 1
         return result
+
+    # ----------------------------------------------------------------- tasks
+    def _run_phase(self, thunks: List[Callable[[], _TaskOutcome]],
+                   workers: int) -> List[_TaskOutcome]:
+        """Execute one phase's tasks, returning outcomes in task order."""
+        if workers <= 1 or len(thunks) <= 1:
+            return [thunk() for thunk in thunks]
+        with ThreadPoolExecutor(max_workers=min(workers, len(thunks)),
+                                thread_name_prefix="mr-task") as pool:
+            futures = [pool.submit(thunk) for thunk in thunks]
+            return [future.result() for future in futures]
+
+    def _map_task(self, job: Job, task_id: int, split) -> _TaskOutcome:
+        emits: List[Tuple[Any, Any]] = []
+        counters = Counters()
+        ctx = TaskContext(task_id, self.fs, counters,
+                          lambda k, v, buf=emits: buf.append((k, v)))
+        ctx.split = split
+        outcome = _TaskOutcome(task_id=task_id, emits=emits,
+                               counters=counters)
+        with task_io_scope() as scope:
+            for key, value in job.input_format.read_split(self.fs, split):
+                outcome.input_records += 1
+                job.mapper(key, value, ctx)
+            outcome.input_bytes = scope.captured(self.fs.io).bytes_read
+        outcome.output_records = len(emits)
+        if job.reducer is not None and job.combiner is not None:
+            outcome.emits = self._combine(job, emits, counters)
+        return outcome
+
+    def _reduce_task(self, job: Job, task_id: int,
+                     bucket: Dict[Any, List[Any]]) -> _TaskOutcome:
+        emits: List[Tuple[Any, Any]] = []
+        counters = Counters()
+        ctx = TaskContext(task_id, self.fs, counters,
+                          lambda k, v, buf=emits: buf.append((k, v)))
+        outcome = _TaskOutcome(task_id=task_id, emits=emits,
+                               counters=counters)
+        with task_io_scope() as scope:
+            if job.reduce_setup is not None:
+                job.reduce_setup(ctx)
+            try:
+                for key in sorted(bucket):
+                    values = bucket[key]
+                    outcome.input_records += len(values)
+                    job.reducer(key, values, ctx)
+            finally:
+                if job.reduce_cleanup is not None:
+                    job.reduce_cleanup(ctx)
+            outcome.output_bytes = scope.captured(self.fs.io).bytes_written
+        outcome.output_records = len(emits)
+        return outcome
 
     @staticmethod
     def _combine(job: Job, emits: List[Tuple[Any, Any]],

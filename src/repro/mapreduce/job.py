@@ -6,8 +6,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import MapReduceError
+from repro.mapreduce.cluster import ExecutionConfig
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.cost import JobStats
+from repro.mapreduce.cost import JobStats, TaskStats
 from repro.mapreduce.splits import FileSplit, InputFormat
 
 #: map(key, value, context) -> None (emit via context.emit)
@@ -61,6 +62,8 @@ class Job:
     reduce_cleanup: Optional[Callable[[TaskContext], None]] = None
     #: partition function key -> int; default is hash.
     partitioner: Optional[Callable[[Any], int]] = None
+    #: per-job override of the engine's execution mode (None = engine's).
+    execution: Optional[ExecutionConfig] = None
 
     def validate(self) -> None:
         if self.splits is None and not self.input_paths:
@@ -75,9 +78,17 @@ class Job:
 @dataclass
 class JobResult:
     """Output records (from reduce emits, or map emits for map-only jobs),
-    counters, and the measured stats the cost model consumes."""
+    counters, and the measured stats the cost model consumes.
+
+    ``task_stats`` lists one :class:`~repro.mapreduce.cost.TaskStats` per
+    executed task — map tasks in split order, then reduce tasks in
+    partition order — identical for any ``ExecutionConfig``, so the cost
+    model can read measured per-task counters instead of assuming serial
+    execution evenly divided the input.
+    """
 
     job_name: str
     output: List[Tuple[Any, Any]] = field(default_factory=list)
     counters: Counters = field(default_factory=Counters)
     stats: JobStats = field(default_factory=JobStats)
+    task_stats: List[TaskStats] = field(default_factory=list)

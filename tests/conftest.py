@@ -24,8 +24,11 @@ def simple_schema() -> Schema:
                      ("c", DataType.STRING))
 
 
-def make_session(block_size: int = 64 * 1024) -> HiveSession:
-    session = HiveSession(num_datanodes=4)
+def make_session(block_size: int = 64 * 1024,
+                 execution=None) -> HiveSession:
+    """Fresh session; ``execution`` is an optional
+    :class:`~repro.mapreduce.cluster.ExecutionConfig` (None = sequential)."""
+    session = HiveSession(num_datanodes=4, execution=execution)
     session.fs.block_size = block_size
     return session
 

@@ -1,0 +1,1 @@
+"""Test harnesses shared by the suite (differential engine equivalence)."""

@@ -1,0 +1,198 @@
+"""Differential harness: proves the parallel engine equals the sequential one.
+
+Two entry points, both asserting *byte-identical* results across
+``max_workers`` settings:
+
+* :func:`assert_job_equivalent` — runs one raw MapReduce job (rebuilt from
+  scratch per run so no mutable state is shared) on the sequential engine
+  and on thread-pool engines, comparing full :class:`JobResult`
+  fingerprints: output records, every counter value, the ``JobStats``
+  aggregate the cost model consumes, and the per-task ``TaskStats`` list.
+
+* :func:`assert_session_equivalent` — replays a whole workload (DDL, rows,
+  optional index build, queries) through independent :class:`HiveSession`s,
+  comparing result rows, per-query ``QueryStats`` (including the simulated
+  cost-model seconds, which are pure functions of the measured counters),
+  index-build reports, global filesystem I/O totals and key-value-store op
+  counts.
+
+Fingerprints are plain dicts compared with ``==``; on mismatch the harness
+reports exactly which entries diverged, which is what turns "the engines
+disagree" into a debuggable ordering bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.hive.session import HiveSession, QueryOptions, QueryResult
+from repro.mapreduce.cluster import ExecutionConfig
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.job import Job, JobResult
+
+#: worker counts every differential check covers (ISSUE 1 acceptance).
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+# ---------------------------------------------------------------- fingerprints
+def job_fingerprint(result: JobResult) -> Dict[str, Any]:
+    """Everything a JobResult exposes that downstream code can observe."""
+    return {
+        "output": list(result.output),
+        "counters": result.counters.as_dict(),
+        "stats": asdict(result.stats),
+        "tasks": [asdict(t) for t in result.task_stats],
+    }
+
+
+def query_fingerprint(result: QueryResult) -> Dict[str, Any]:
+    """Rows plus the measured/modelled stats of one executed query."""
+    stats = result.stats
+    return {
+        "columns": list(result.columns),
+        "rows": list(result.rows),
+        "description": result.description,
+        "jobs": stats.jobs,
+        "splits_processed": stats.splits_processed,
+        "records_read": stats.records_read,
+        "bytes_read": stats.bytes_read,
+        "records_matched": stats.records_matched,
+        "output_records": stats.output_records,
+        "index_used": stats.index_used,
+        "index_records_scanned": stats.index_records_scanned,
+        "index_kv_gets": stats.index_kv_gets,
+        "time": (stats.time.read_index_and_other,
+                 stats.time.read_data_and_process),
+    }
+
+
+def diff_fingerprints(expected: Dict[str, Any], actual: Dict[str, Any],
+                      prefix: str = "") -> List[str]:
+    """Human-readable list of entries where two fingerprints diverge."""
+    lines: List[str] = []
+    for key in sorted(set(expected) | set(actual)):
+        left, right = expected.get(key), actual.get(key)
+        label = f"{prefix}{key}"
+        if isinstance(left, dict) and isinstance(right, dict):
+            lines.extend(diff_fingerprints(left, right, prefix=f"{label}."))
+        elif left != right:
+            lines.append(f"{label}: sequential={left!r} parallel={right!r}")
+    return lines
+
+
+def _assert_same(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                 context: str) -> None:
+    if candidate != baseline:
+        diverged = "\n  ".join(diff_fingerprints(baseline, candidate))
+        raise AssertionError(
+            f"{context} diverged from the sequential engine:\n  {diverged}")
+
+
+# ------------------------------------------------------------------- job level
+def assert_job_equivalent(
+        make_fs_and_job: Callable[[], Tuple[Any, Job]],
+        worker_counts: Sequence[int] = WORKER_COUNTS) -> Dict[str, Any]:
+    """Run a job on the sequential engine and at each worker count.
+
+    ``make_fs_and_job`` must build a *fresh* filesystem + job per call so
+    runs can never observe each other's state.  Returns the sequential
+    fingerprint (for extra assertions by the caller).
+    """
+    fs, job = make_fs_and_job()
+    baseline = job_fingerprint(MapReduceEngine(fs).run(job))
+    for workers in worker_counts:
+        fs, job = make_fs_and_job()
+        engine = MapReduceEngine(
+            fs, execution=ExecutionConfig(max_workers=workers))
+        candidate = job_fingerprint(engine.run(job))
+        _assert_same(baseline, candidate, f"max_workers={workers}")
+    return baseline
+
+
+# --------------------------------------------------------------- session level
+@dataclass(frozen=True)
+class Workload:
+    """A replayable (table, index, queries) scenario.
+
+    ``queries`` entries are ``(sql, options)`` pairs; ``options`` may be
+    None for the default (index-transparent) behaviour.
+    """
+
+    table: str
+    ddl: str
+    rows: Tuple[Tuple, ...]
+    queries: Tuple[Tuple[str, Optional[QueryOptions]], ...]
+    index_sql: Optional[str] = None
+    append_rows: Tuple[Tuple, ...] = ()
+    index_name: Optional[str] = None  # required when append_rows is set
+    block_size: int = 2048
+    load_files: int = 2
+    #: extra (name, ddl, rows) tables, e.g. the dimension side of a join
+    extra_tables: Tuple[Tuple[str, str, Tuple[Tuple, ...]], ...] = ()
+
+
+def run_workload(workload: Workload,
+                 execution: Optional[ExecutionConfig] = None
+                 ) -> Dict[str, Any]:
+    """Build a fresh session, replay the workload, return its fingerprint."""
+    session = HiveSession(num_datanodes=4, execution=execution)
+    session.fs.block_size = workload.block_size
+    session.execute(workload.ddl)
+    rows = list(workload.rows)
+    if rows:
+        files = max(1, min(workload.load_files, len(rows)))
+        chunk = -(-len(rows) // files)
+        for start in range(0, len(rows), chunk):
+            session.load_rows(workload.table, rows[start:start + chunk])
+    for name, ddl, extra_rows in workload.extra_tables:
+        session.execute(ddl)
+        if extra_rows:
+            session.load_rows(name, list(extra_rows))
+
+    fingerprint: Dict[str, Any] = {}
+    if workload.index_sql:
+        session.execute(workload.index_sql)
+        for info in session.metastore.indexes_on(workload.table):
+            report = info.state.get("build_report")
+            if report is None:
+                continue
+            fingerprint[f"build:{info.name}"] = {
+                "stats": asdict(report.job_stats),
+                "index_size_bytes": report.index_size_bytes,
+                "seconds": (report.build_time.read_index_and_other,
+                            report.build_time.read_data_and_process),
+                "details": dict(report.details),
+            }
+    if workload.append_rows:
+        from repro.core.dgf.builder import append_with_dgf
+        report = append_with_dgf(session, workload.table,
+                                 workload.index_name,
+                                 list(workload.append_rows))
+        fingerprint["append"] = {
+            "stats": asdict(report.job_stats),
+            "details": dict(report.details),
+        }
+    for position, (sql, options) in enumerate(workload.queries):
+        result = session.execute(sql, options)
+        fingerprint[f"query:{position}"] = query_fingerprint(result)
+
+    # Global accounting must agree too: every byte read or written and
+    # every KV op, regardless of which thread performed it.
+    fingerprint["fs_io"] = asdict(session.fs.io)
+    fingerprint["kv_ops"] = asdict(session.kvstore.stats)
+    fingerprint["jobs_run"] = session.engine.jobs_run
+    return fingerprint
+
+
+def assert_session_equivalent(
+        workload: Workload,
+        worker_counts: Sequence[int] = WORKER_COUNTS) -> Dict[str, Any]:
+    """Replay ``workload`` sequentially and at each worker count; all
+    fingerprints must be identical.  Returns the sequential fingerprint."""
+    baseline = run_workload(workload)
+    for workers in worker_counts:
+        candidate = run_workload(
+            workload, ExecutionConfig(max_workers=workers))
+        _assert_same(baseline, candidate, f"max_workers={workers}")
+    return baseline

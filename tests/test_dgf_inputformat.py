@@ -156,3 +156,77 @@ class TestSliceReader:
         keys = [k for split in chosen
                 for _, (k, _v) in fmt.read_split(fs, split)]
         assert sorted(keys) == [10, 11, 12, 13, 14]
+
+
+class TestConcurrentGetSplits:
+    """Two sessions filtering splits for the same table at once (the
+    parallel engine's getSplits path) must interfere with neither each
+    other nor a sequential caller."""
+
+    def test_concurrent_slices_to_splits_match_sequential(self,
+                                                          sliced_table):
+        from concurrent.futures import ThreadPoolExecutor
+
+        fs, table, slices = sliced_table
+        requests = [[slices[0], slices[2]], [slices[1]]] * 4
+
+        def fingerprint(request):
+            chosen, total = slices_to_splits(fs, table, request)
+            return total, [(s.path, s.start, s.length,
+                            tuple(s.meta["slices"])) for s in chosen]
+
+        sequential = [fingerprint(request) for request in requests]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            concurrent = list(pool.map(fingerprint, requests))
+        assert concurrent == sequential
+
+    def test_concurrent_readers_share_splits(self, sliced_table):
+        """Splits computed once can be read by two threads concurrently
+        (fresh reader state per read_split call)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        fs, table, slices = sliced_table
+        chosen, _ = slices_to_splits(fs, table, list(slices))
+        fmt = DgfSliceInputFormat(table)
+
+        def read_all():
+            return sorted(k for split in chosen
+                          for _, (k, _v) in fmt.read_split(fs, split))
+
+        expected = read_all()
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            results = [pool.submit(read_all) for _ in range(4)]
+            assert all(f.result() == expected for f in results)
+
+    def test_two_sessions_same_table_parallel_queries(self):
+        """Full-stack version: two HiveSessions over identical data run
+        indexed queries concurrently; answers match the sequential run."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.mapreduce.cluster import ExecutionConfig
+        from tests.conftest import METER_DDL, make_session, meter_rows
+
+        sql = ("SELECT sum(powerconsumed), count(*) FROM meterdata "
+               "WHERE userid >= 10 AND userid < 40 AND regionid >= 0 "
+               "AND regionid <= 2 AND ts >= '2012-12-01' "
+               "AND ts <= '2012-12-04'")
+
+        def build_session():
+            session = make_session(
+                block_size=2048,
+                execution=ExecutionConfig(max_workers=4))
+            session.execute(METER_DDL)
+            session.load_rows("meterdata", meter_rows())
+            session.execute(
+                "CREATE INDEX d ON TABLE meterdata(userid, regionid, ts) "
+                "AS 'dgf' IDXPROPERTIES ('userid'='0_25', "
+                "'regionid'='0_1', 'ts'='2012-12-01_2d', "
+                "'precompute'='sum(powerconsumed),count(*)')")
+            return session
+
+        baseline = build_session().execute(sql).rows
+        sessions = [build_session(), build_session()]
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(s.execute, sql) for s in sessions]
+            for future in futures:
+                assert future.result().rows == baseline

@@ -203,3 +203,94 @@ class TestHDFS:
     def test_replication_capped_by_datanodes(self):
         fs = HDFS(num_datanodes=1, replication=3)
         assert fs.replication == 1
+
+
+class TestIOStatsTaskScopes:
+    """IOStats merging and the task-local capture scopes the parallel
+    MapReduce engine relies on for race-free accounting."""
+
+    def test_merge_adds_every_field(self):
+        from repro.hdfs.metrics import IOStats
+        total = IOStats(bytes_read=1, bytes_written=2, read_ops=3,
+                        write_ops=4, seeks=5)
+        total.merge(IOStats(bytes_read=10, bytes_written=20, read_ops=30,
+                            write_ops=40, seeks=50))
+        assert total == IOStats(bytes_read=11, bytes_written=22,
+                                read_ops=33, write_ops=44, seeks=55)
+
+    def test_merge_order_independent(self):
+        from repro.hdfs.metrics import IOStats
+        parts = [IOStats(bytes_read=i, read_ops=1) for i in (3, 7, 11)]
+        forward, backward = IOStats(), IOStats()
+        for part in parts:
+            forward.merge(part)
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward == backward
+
+    def test_scope_buffers_until_exit(self, fs):
+        """Inside a scope, updates are captured task-locally and only
+        reach the shared instance when the scope exits."""
+        from repro.hdfs.metrics import task_io_scope
+        fs.write_bytes("/f", b"x" * 1000)
+        outside = fs.io.snapshot()
+        with task_io_scope() as scope:
+            fs.read_bytes("/f")
+            captured = scope.captured(fs.io)
+            assert captured.bytes_read == 1000
+            # shared totals not yet touched
+            assert fs.io.snapshot().bytes_read == outside.bytes_read
+        assert fs.io.bytes_read == outside.bytes_read + 1000
+
+    def test_scope_captures_writes(self, fs):
+        from repro.hdfs.metrics import task_io_scope
+        with task_io_scope() as scope:
+            fs.write_bytes("/w", b"y" * 512)
+            assert scope.captured(fs.io).bytes_written == 512
+        assert fs.io.bytes_written >= 512
+
+    def test_untouched_stats_capture_zero(self, fs):
+        from repro.hdfs.metrics import IOStats, task_io_scope
+        with task_io_scope() as scope:
+            assert scope.captured(fs.io) == IOStats()
+
+    def test_nested_scope_flushes_to_parent(self, fs):
+        from repro.hdfs.metrics import task_io_scope
+        fs.write_bytes("/f", b"x" * 300)
+        before = fs.io.snapshot()
+        with task_io_scope() as outer:
+            with task_io_scope() as inner:
+                fs.read_bytes("/f")
+                assert inner.captured(fs.io).bytes_read == 300
+            # the inner task's I/O now belongs to the outer scope ...
+            assert outer.captured(fs.io).bytes_read == 300
+            # ... and still hasn't hit the shared instance
+            assert fs.io.snapshot().bytes_read == before.bytes_read
+        assert fs.io.bytes_read == before.bytes_read + 300
+
+    def test_threads_capture_independently(self, fs):
+        """Two threads reading different volumes under their own scopes
+        each see exactly their own bytes; the shared total sees the sum."""
+        import threading
+
+        from repro.hdfs.metrics import task_io_scope
+        fs.write_bytes("/a", b"a" * 1000)
+        fs.write_bytes("/b", b"b" * 3000)
+        before = fs.io.snapshot()
+        captured = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name, path):
+            with task_io_scope() as scope:
+                barrier.wait()
+                fs.read_bytes(path)
+                captured[name] = scope.captured(fs.io).bytes_read
+
+        threads = [threading.Thread(target=worker, args=("a", "/a")),
+                   threading.Thread(target=worker, args=("b", "/b"))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert captured == {"a": 1000, "b": 3000}
+        assert fs.io.bytes_read == before.bytes_read + 4000

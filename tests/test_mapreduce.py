@@ -1,11 +1,15 @@
 """Tests for the MapReduce engine, splits, counters and cost model."""
 
+import os
+
 import pytest
 
 from repro.errors import MapReduceError
 from repro.hdfs.filesystem import HDFS
-from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
-from repro.mapreduce.cost import CostModel, JobStats, KVStats, TimeBreakdown
+from repro.mapreduce.cluster import (PAPER_CLUSTER, SEQUENTIAL,
+                                     ClusterConfig, ExecutionConfig)
+from repro.mapreduce.cost import (CostModel, JobStats, KVStats, TaskStats,
+                                  TimeBreakdown)
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.engine import MapReduceEngine, estimate_size, stable_hash
 from repro.mapreduce.job import Job
@@ -49,6 +53,30 @@ class TestCounters:
         c.inc("b", "y")
         c.inc("a", "x")
         assert [g for g, _, _ in c.items()] == ["a", "b"]
+
+    def test_merge_order_independent(self):
+        """Per-task counters merged at the barrier must not depend on the
+        order tasks were merged in (integer addition commutes)."""
+        parts = []
+        for i in range(4):
+            c = Counters()
+            c.inc("g", "n", i + 1)
+            c.inc(f"g{i}", "only", 7)
+            parts.append(c)
+        forward, backward = Counters(), Counters()
+        for c in parts:
+            forward.merge(c)
+        for c in reversed(parts):
+            backward.merge(c)
+        assert forward.as_dict() == backward.as_dict()
+        assert forward.get("g", "n") == 10
+
+    def test_merge_empty_is_identity(self):
+        c = Counters()
+        c.inc("g", "n", 5)
+        before = c.as_dict()
+        c.merge(Counters())
+        assert c.as_dict() == before
 
 
 class TestSplits:
@@ -214,6 +242,95 @@ class TestEngine:
         assert estimate_size(None) == 1
         assert estimate_size({1, 2}) == 4 + 16
 
+    def test_estimate_size_ignores_insertion_order(self):
+        """Shuffle-byte accounting must be identical however a dict or set
+        was populated — regression for stable counters across engines."""
+        forward = {}
+        backward = {}
+        items = [("alpha", 1), ("b", 22.5), ("ccc", None), ("dd", "xyz")]
+        for k, v in items:
+            forward[k] = v
+        for k, v in reversed(items):
+            backward[k] = v
+        assert estimate_size(forward) == estimate_size(backward)
+
+        grow, shrink = set(), set()
+        for token in ["a", "bb", "ccc", "dddd"]:
+            grow.add(token)
+        for token in ["dddd", "ccc", "bb", "a"]:
+            shrink.add(token)
+        assert estimate_size(grow) == estimate_size(shrink)
+
+    def test_parallel_engine_matches_sequential(self, loaded_fs):
+        """The same job run at several worker counts returns identical
+        output, counters, stats and per-task stats."""
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+
+        def mapper(key, row, ctx):
+            ctx.counter("t", "mapped")
+            ctx.emit(row[0], row[1])
+
+        def reducer(key, values, ctx):
+            ctx.emit(key, sum(values))
+
+        def run(execution):
+            engine = MapReduceEngine(fs, execution=execution)
+            return engine.run(Job(name="eq", input_format=fmt,
+                                  mapper=mapper, reducer=reducer,
+                                  input_paths=["/in"], num_reducers=3))
+
+        baseline = run(None)
+        for workers in (2, 4, 8):
+            result = run(ExecutionConfig(max_workers=workers))
+            assert result.output == baseline.output
+            assert result.counters.as_dict() == baseline.counters.as_dict()
+            assert result.stats == baseline.stats
+            assert result.task_stats == baseline.task_stats
+
+    def test_job_execution_overrides_engine(self, loaded_fs):
+        """Job.execution wins over the engine's ExecutionConfig."""
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+
+        def mapper(key, row, ctx):
+            ctx.emit(row[0], 1)
+
+        def reducer(key, values, ctx):
+            ctx.emit(key, sum(values))
+
+        sequential_engine = MapReduceEngine(fs)
+        overridden = sequential_engine.run(Job(
+            name="ov", input_format=fmt, mapper=mapper, reducer=reducer,
+            input_paths=["/in"], num_reducers=2,
+            execution=ExecutionConfig(max_workers=4)))
+        plain = sequential_engine.run(Job(
+            name="ov", input_format=fmt, mapper=mapper, reducer=reducer,
+            input_paths=["/in"], num_reducers=2))
+        assert overridden.output == plain.output
+        assert overridden.stats == plain.stats
+
+
+class TestExecutionConfig:
+    def test_default_is_sequential(self):
+        config = ExecutionConfig()
+        assert config.max_workers == 1
+        assert config.worker_count() == 1
+        assert not config.is_parallel
+        assert SEQUENTIAL.worker_count() == 1
+
+    def test_zero_means_one_per_core(self):
+        config = ExecutionConfig(max_workers=0)
+        assert config.worker_count() == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_workers=-1)
+
+    def test_engine_defaults_to_sequential(self):
+        engine = MapReduceEngine(HDFS(num_datanodes=1))
+        assert engine.execution == SEQUENTIAL
+
 
 class TestCostModel:
     def test_full_scan_lands_near_paper(self):
@@ -270,3 +387,86 @@ class TestCostModel:
                                 reduce_slots_per_worker=3)
         assert cluster.total_map_slots == 140
         assert cluster.total_reduce_slots == 84
+
+
+class TestMeasuredCostModel:
+    """CostModel.job_seconds_measured: per-task counters in, seconds out."""
+
+    @staticmethod
+    def _stats(map_tasks, total_bytes, total_records):
+        return JobStats(map_tasks=map_tasks, map_input_bytes=total_bytes,
+                        map_input_records=total_records)
+
+    @staticmethod
+    def _even_tasks(count, total_bytes, total_records):
+        return [TaskStats(task_id=i, kind="map",
+                          input_bytes=total_bytes // count,
+                          input_records=total_records // count)
+                for i in range(count)]
+
+    def test_balanced_tasks_match_aggregate_model(self):
+        """When every task did the same work, the measured model agrees
+        with job_seconds' even-split assumption."""
+        model = CostModel(PAPER_CLUSTER)
+        stats = self._stats(4, 4_000_000, 40_000)
+        tasks = self._even_tasks(4, 4_000_000, 40_000)
+        balanced = model.job_seconds(stats).total
+        measured = model.job_seconds_measured(stats, tasks).total
+        assert measured == pytest.approx(balanced)
+
+    def test_skew_costs_more_than_balance(self):
+        """One straggler task holding most of the input must make the
+        measured job slower than the balanced estimate."""
+        model = CostModel(PAPER_CLUSTER)
+        stats = self._stats(4, 4_000_000, 40_000)
+        skewed = [TaskStats(task_id=0, kind="map",
+                            input_bytes=3_700_000, input_records=37_000)]
+        skewed += [TaskStats(task_id=i, kind="map",
+                             input_bytes=100_000, input_records=1_000)
+                   for i in range(1, 4)]
+        assert model.job_seconds_measured(stats, skewed).total \
+            > model.job_seconds(stats).total
+
+    def test_no_map_tasks_falls_back(self):
+        model = CostModel(PAPER_CLUSTER)
+        stats = self._stats(3, 1_000_000, 10_000)
+        fallback = model.job_seconds_measured(stats, [])
+        direct = model.job_seconds(stats)
+        assert fallback.total == direct.total
+        assert fallback.read_index_and_other == direct.read_index_and_other
+
+    def test_reduce_tasks_ignored_for_map_phase(self):
+        """Reduce TaskStats must not be mistaken for map work."""
+        model = CostModel(PAPER_CLUSTER)
+        stats = self._stats(2, 2_000_000, 20_000)
+        tasks = self._even_tasks(2, 2_000_000, 20_000)
+        with_reduce = tasks + [TaskStats(task_id=0, kind="reduce",
+                                         input_bytes=10**9,
+                                         input_records=10**6)]
+        assert model.job_seconds_measured(stats, with_reduce).total \
+            == pytest.approx(model.job_seconds_measured(stats, tasks).total)
+
+    def test_engine_task_stats_feed_the_model(self, loaded_fs):
+        """End to end: real task stats from a job run plug straight in."""
+        fs, schema = loaded_fs
+        fmt = TextRowInputFormat(schema)
+
+        def mapper(key, row, ctx):
+            ctx.emit(row[0], row[1])
+
+        def reducer(key, values, ctx):
+            ctx.emit(key, sum(values))
+
+        result = MapReduceEngine(fs).run(Job(
+            name="mc", input_format=fmt, mapper=mapper, reducer=reducer,
+            input_paths=["/in"], num_reducers=2))
+        map_stats = [t for t in result.task_stats if t.kind == "map"]
+        assert len(map_stats) == result.stats.map_tasks
+        assert sum(t.input_records for t in map_stats) \
+            == result.stats.map_input_records
+        assert sum(t.input_bytes for t in map_stats) \
+            == result.stats.map_input_bytes
+        model = CostModel(PAPER_CLUSTER, data_scale=100.0)
+        seconds = model.job_seconds_measured(result.stats,
+                                             result.task_stats)
+        assert seconds.total > 0.0
