@@ -1,0 +1,44 @@
+"""Micro-benchmark: query tracing must stay cheap on the sequential path.
+
+Spans are created at stage granularity and the storage-layer hooks are a
+single active-span lookup plus a dict increment, so the budget is ~5%;
+the assertion tolerance is wider because min-of-rounds wall timings on a
+shared CI box still jitter by more than the effect being measured.  An
+accidental per-record or per-byte span would exceed any tolerance by
+orders of magnitude, which is the regression this guards against.
+"""
+
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+ROUNDS = 5
+QUERIES_PER_ROUND = 3
+TOLERANCE = 1.3
+
+
+def _best_of(session, sql, rounds=ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        for _ in range(QUERIES_PER_ROUND):
+            session.execute(sql)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_tracing_overhead_sequential(meter_lab):
+    session = meter_lab.dgf_session("medium")
+    sql = meter_lab.query_sql("agg", 0.05)
+    session.execute(sql)  # warm both paths before timing
+    traced = _best_of(session, sql)
+    session.tracer.enabled = False
+    try:
+        untraced = _best_of(session, sql)
+    finally:
+        session.tracer.enabled = True
+    assert traced <= untraced * TOLERANCE + 0.02, (
+        f"tracing {traced:.3f}s vs untraced {untraced:.3f}s exceeds the "
+        f"{TOLERANCE}x tolerance")

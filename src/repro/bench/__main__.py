@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
-from repro.bench.lab import MeterLabConfig, TpchLabConfig
-from repro.bench.report import run_all
+from repro.bench.lab import MeterLab, MeterLabConfig, TpchLabConfig
+from repro.bench.report import collect_reference_traces, run_all
 
 
 def main(argv=None) -> int:
@@ -25,12 +26,16 @@ def main(argv=None) -> int:
                         help="readings per user-day (default 4)")
     parser.add_argument("--tpch-orders", type=int, default=12000,
                         help="TPC-H orders (default 12000)")
+    parser.add_argument("--traces", default="BENCH_TRACES.json",
+                        help="where to write the reference query traces "
+                             "(default: BENCH_TRACES.json; '' to skip)")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
+    meter_config = MeterLabConfig(num_users=args.users, num_days=args.days,
+                                  readings_per_day=args.readings)
     report = run_all(
-        MeterLabConfig(num_users=args.users, num_days=args.days,
-                       readings_per_day=args.readings),
+        meter_config,
         TpchLabConfig(num_orders=args.tpch_orders),
         verbose=not args.quiet)
     if args.output == "-":
@@ -39,6 +44,12 @@ def main(argv=None) -> int:
         pathlib.Path(args.output).write_text(report)
         if not args.quiet:
             print(f"wrote {args.output}")
+    if args.traces:
+        document = collect_reference_traces(MeterLab(meter_config))
+        pathlib.Path(args.traces).write_text(
+            json.dumps(document, sort_keys=True, indent=2) + "\n")
+        if not args.quiet:
+            print(f"wrote {args.traces}")
     return 0
 
 

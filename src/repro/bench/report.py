@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.bench import experiments as exps
 from repro.bench.lab import (MeterLab, MeterLabConfig, TpchLab,
@@ -85,3 +85,46 @@ def run_all(meter_config: Optional[MeterLabConfig] = None,
     if verbose:
         print(f"[{time.time() - started:7.1f}s] done", flush=True)
     return "\n".join(sections)
+
+
+#: reference query shapes traced by :func:`collect_reference_traces`.
+REFERENCE_TRACE_QUERIES = (
+    ("agg-5pct", "agg", 0.05),
+    ("agg-point", "agg", "point"),
+    ("groupby-5pct", "groupby", 0.05),
+)
+
+
+def collect_reference_traces(lab: MeterLab,
+                             case: str = "medium") -> Dict[str, Any]:
+    """Trace the paper's reference MDRQs on a DGF-indexed session.
+
+    Returns a JSON-able document (written as ``BENCH_TRACES.json`` by
+    ``python -m repro.bench``) holding, per query: the SQL, the full
+    versioned trace document (schema ``dgf-repro/trace``, see
+    docs/observability.md) and the headline stats — plus the session's
+    metrics snapshot.  Wall times are zeroed so the artifact is
+    deterministic across hosts and worker counts.
+    """
+    from repro.obs.trace import validate_trace
+    session = lab.dgf_session(case)
+    traces: List[Dict[str, Any]] = []
+    for label, kind, selectivity in REFERENCE_TRACE_QUERIES:
+        sql = lab.query_sql(kind, selectivity)
+        result = session.execute(sql)
+        document = result.trace.normalized()
+        validate_trace(document)
+        traces.append({
+            "label": label,
+            "sql": sql,
+            "trace": document,
+            "stats": {
+                "records_read": result.stats.records_read,
+                "bytes_read": result.stats.bytes_read,
+                "splits_processed": result.stats.splits_processed,
+                "index_used": result.stats.index_used,
+                "simulated_seconds": result.stats.simulated_seconds,
+            },
+        })
+    return {"case": case, "traces": traces,
+            "metrics": session.metrics.snapshot()}

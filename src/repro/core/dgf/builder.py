@@ -1,16 +1,20 @@
-"""DGFIndex construction (Algorithms 1 and 2 of the paper) and the
-no-rebuild append path.
+"""DGFIndex construction (Sec. 4.2, Algorithms 1-2) and no-rebuild appends.
 
-Construction is one MapReduce job: mappers standardize each record's index
-dimensions into a GFUKey and emit ``<GFUKey, record>``; reducers write each
-key's records contiguously (a *Slice*) into the reorganized table files,
-compute the pre-aggregation header, and put the
-``<GFUKey, GFUValue>`` pair into the key-value store.  Afterwards the
-table's data location points at the reorganized directory.
+Paper mapping: Sec. 4.2 ("Construct DGFIndex") — Algorithm 1 is the map
+side (standardize each record's index dimensions into a GFUKey, emit
+``<GFUKey, record>``), Algorithm 2 the reduce side (write each key's
+records contiguously as a *Slice* into the reorganized table files,
+compute the pre-aggregation header, put the ``<GFUKey, GFUValue>`` pair
+into the key-value store).  Afterwards the table's data location points
+at the reorganized directory, so every later query — indexed or not —
+reads the reorganized layout.
 
 Appends (:func:`append_with_dgf`) run the same job over only the new rows,
 writing *new* files; existing slices are never rewritten — the paper's
-argument for why DGFIndex does not hurt write throughput.
+argument (Sec. 4.2, "update DGFIndex") for why DGFIndex does not hurt
+write throughput.  The build runs under the session's tracer like any
+other MapReduce job, so ``mr_job`` spans and HDFS/KV counters cover index
+construction too; see ``docs/observability.md``.
 """
 
 from __future__ import annotations

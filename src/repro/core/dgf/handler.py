@@ -1,9 +1,14 @@
 """DgfIndexHandler: DGFIndex's integration with the Hive planner.
 
-Implements Algorithm 3 of the paper: extract the per-dimension intervals
-from the predicate (completing missing dimensions with the stored min/max
-standardized values), decompose the query region into inner and boundary
-GFUs, and either
+Paper mapping: Sec. 4.3 ("Query in DGFIndex"), Algorithm 3 — the MDRQ
+decomposition step.  Build and drop delegate to Sec. 4.2's construction
+job (:mod:`repro.core.dgf.builder`); split filtering and slice-skipping
+reads are Sec. 4.3's Algorithm 4 (:mod:`repro.core.dgf.inputformat`).
+
+``plan_access`` extracts the per-dimension intervals from the predicate
+(completing missing dimensions with the stored min/max standardized
+values — the Sec. 4.4 partial-specification rule), decomposes the query
+region into inner and boundary GFUs, and either
 
 * **aggregation path** — answer the inner region from pre-computed headers
   and hand Hive only the boundary slices to scan with the exact predicate,
@@ -11,6 +16,12 @@ GFUs, and either
 * **slice path** — hand Hive the slice locations of *all* query-related
   GFUs so ``getSplits`` can filter splits and the record reader can skip
   unrelated slices inside each split.
+
+Observability: when the owning session traces a query, the handler opens
+``dgf.search_grid`` / ``dgf.inner_headers`` / ``dgf.boundary_slices``
+spans under the session's ``plan`` span, so ``EXPLAIN ANALYZE`` shows the
+decomposition (inner vs. boundary GFU counts) and the KV-store ops each
+step issued.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -77,30 +88,47 @@ class DgfIndexHandler(IndexHandler):
 
         precomputed: Set[str] = set(store.get_meta("precompute"))
         agg_path = self._aggregation_path_applies(ctx, policy, precomputed)
+        tracer = session.tracer
 
         kv_before = session.kvstore.snapshot_stats()
-        search = search_grid(policy, intervals, bounds,
-                             force_all_boundary=not agg_path)
+        with tracer.span("dgf.search_grid") as search_span:
+            search = search_grid(policy, intervals, bounds,
+                                 force_all_boundary=not agg_path)
+            search_span.add("inner_keys", len(search.inner_keys))
+            search_span.add("boundary_keys", len(search.boundary_keys))
 
         header_states: Optional[Dict[str, Any]] = None
         slices: List[SliceLocation] = []
         inner_hits = boundary_hits = 0
         if agg_path:
-            inner_values = store.multi_get(search.inner_keys)
-            inner_hits = len(inner_values)
-            header_states = self._merge_headers(ctx.agg_keys,
-                                                inner_values.values())
-            boundary_values = store.multi_get(search.boundary_keys)
-            boundary_hits = len(boundary_values)
-            for value in boundary_values.values():
-                slices.extend(value.locations)
+            with tracer.span("dgf.inner_headers") as inner_span:
+                inner_values = store.multi_get(search.inner_keys)
+                inner_hits = len(inner_values)
+                header_states = self._merge_headers(ctx.agg_keys,
+                                                    inner_values.values())
+                inner_span.add("gfus", inner_hits)
+                inner_span.add("headers_merged", len(header_states))
+            with tracer.span("dgf.boundary_slices") as boundary_span:
+                boundary_values = store.multi_get(search.boundary_keys)
+                boundary_hits = len(boundary_values)
+                for value in boundary_values.values():
+                    slices.extend(value.locations)
+                boundary_span.add("gfus", boundary_hits)
+                boundary_span.add("slices", len(slices))
         else:
-            values = store.multi_get(search.all_keys)
-            boundary_hits = len(values)
-            for value in values.values():
-                slices.extend(value.locations)
+            with tracer.span("dgf.boundary_slices") as boundary_span:
+                values = store.multi_get(search.all_keys)
+                boundary_hits = len(values)
+                for value in values.values():
+                    slices.extend(value.locations)
+                boundary_span.add("gfus", boundary_hits)
+                boundary_span.add("slices", len(slices))
 
-        splits, total_splits = slices_to_splits(session.fs, table, slices)
+        with tracer.span("dgf.filter_splits") as split_span:
+            splits, total_splits = slices_to_splits(session.fs, table,
+                                                    slices)
+            split_span.add("splits_kept", len(splits))
+            split_span.add("splits_total", total_splits)
         kv_delta = session.kvstore.stats_delta(kv_before)
         index_time = session.cost_model.kv_seconds(kv_delta)
 
@@ -113,6 +141,11 @@ class DgfIndexHandler(IndexHandler):
             input_format=DgfSliceInputFormat(table),
             index_time=index_time,
             header_states=header_states,
+            handler=self.handler_name,
+            mode=mode,
+            inner_gfus=inner_hits,
+            boundary_gfus=boundary_hits,
+            total_splits=total_splits,
             index_kv_gets=kv_delta.gets)
 
     # ----------------------------------------------------------------- pieces

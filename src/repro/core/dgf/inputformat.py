@@ -1,10 +1,17 @@
 """DgfInputFormat: split filtering and the slice-skipping RecordReader.
 
-This is steps 2 and 3 of the paper's query pipeline (Algorithm 4): splits
-are kept only if they overlap a query-related Slice, each chosen split
-carries its ordered ``<split, slicesInSplit>`` list, and the record reader
-reads only those byte ranges, skipping the margins between adjacent slices.
-A Slice stretching across two splits is divided between their mappers.
+Paper mapping: Sec. 4.3 ("Query in DGFIndex"), steps 2 and 3 of the query
+pipeline, Algorithm 4.  After the handler's query decomposition
+(Algorithm 3, :mod:`repro.core.dgf.handler`) resolves the query-related
+slice locations, ``getSplits`` keeps a split only if it overlaps one of
+those Slices, each chosen split carries its ordered
+``<split, slicesInSplit>`` list, and the record reader reads only those
+byte ranges, skipping the margins between adjacent slices.  A Slice
+stretching across two splits is divided between their mappers.
+
+The skipped/read byte split is observable per map task: the record
+reader's reads land in the ``hdfs.bytes_read`` / ``hdfs.seeks`` counters
+of the active ``map`` span (see ``docs/observability.md``).
 """
 
 from __future__ import annotations

@@ -154,6 +154,11 @@ class HDFS:
         self.namenode = NameNode()
         self.datanodes = [DataNode(i) for i in range(num_datanodes)]
         self.io = IOStats()
+        #: optional :class:`repro.obs.trace.Tracer`; when set, each block
+        #: read/write also lands as ``hdfs.*`` counters on the calling
+        #: thread's active trace span (task spans under the parallel
+        #: engine, so per-op trace accounting stays race-free).
+        self.tracer = None
         self._placement_cursor = 0
         self._mutate_lock = threading.RLock()
 
@@ -230,6 +235,15 @@ class HDFS:
         # Global accounting counts the logical write once (not per replica);
         # replica traffic is modelled by the cost model's replication factor.
         self.io.record_write(len(data))
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None:
+                counters = span.counters
+                counters["hdfs.bytes_written"] = \
+                    counters.get("hdfs.bytes_written", 0) + len(data)
+                counters["hdfs.write_ops"] = \
+                    counters.get("hdfs.write_ops", 0) + 1
 
     def _read_block(self, block: BlockInfo, offset: int, length: int,
                     seek: bool) -> bytes:
@@ -239,4 +253,15 @@ class HDFS:
         data = self.datanodes[block.datanodes[0]].read(
             block.block_id, offset, length, seek=seek)
         self.io.record_read(len(data), seek=seek)
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None:
+                counters = span.counters
+                counters["hdfs.bytes_read"] = \
+                    counters.get("hdfs.bytes_read", 0) + len(data)
+                counters["hdfs.read_ops"] = \
+                    counters.get("hdfs.read_ops", 0) + 1
+                if seek:
+                    counters["hdfs.seeks"] = counters.get("hdfs.seeks", 0) + 1
         return data

@@ -1,18 +1,29 @@
 """Index handler plug-in API (Hive's index interface, as the paper uses it).
 
+Paper mapping: Sec. 4.1 ("Implementation of DGFIndex") describes how a
+custom index plugs into Hive — the handler is consulted between semantic
+analysis and ``getSplits``, and communicates the pruned input back through
+a temp-file protocol.  This module is that seam: the session consults each
+registered handler in priority order, and the winning handler's
+:class:`IndexAccessPlan` replaces the full-scan input of the main job.
+
 A handler can do two things:
 
-* ``build`` — populate the index for a table (usually a MapReduce job);
+* ``build`` — populate the index for a table (usually a MapReduce job;
+  Sec. 4.2 / Algorithms 1-2 for DGFIndex);
 * ``plan_access`` — given a query's extracted ranges, either return an
   :class:`IndexAccessPlan` that shrinks the work of the main job, or ``None``
-  to decline (Hive then falls back to the next index or a full scan).
+  to decline (Hive then falls back to the next index or a full scan;
+  Sec. 4.3 / Algorithm 3 for DGFIndex's query decomposition).
 
 The plan carries (a) the filtered split list — Hive's temp-file protocol
 between index handler and ``getSplits`` — (b) an optional replacement input
 format (DGFIndex's slice-skipping record reader), (c) optional pre-computed
 aggregate states for the covered inner region (DGFIndex's header path), and
 (d) the simulated cost of reading the index itself, which the session adds
-to the query's "read index and other" time.
+to the query's "read index and other" time.  The structured fields
+(``handler``, ``inner_gfus``, ``boundary_gfus``, ``total_splits``) feed
+``EXPLAIN`` / ``EXPLAIN ANALYZE`` output — see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -56,6 +67,19 @@ class IndexAccessPlan:
     splits: List[FileSplit]
     input_format: Optional[InputFormat] = None
     index_time: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: registry name of the handler that produced this plan ("dgf", ...)
+    handler: str = "?"
+    #: access mode within the handler (e.g. DGF's "agg-headers" vs
+    #: "slices", the Aggregate Index's "rewrite"); free-form but stable.
+    mode: str = ""
+    #: GFUs fully inside the query region, answered from headers (DGF only)
+    inner_gfus: int = 0
+    #: GFUs on the query-region boundary, scanned with the exact predicate
+    boundary_gfus: int = 0
+    #: how many splits a full scan would have processed (None = unknown);
+    #: ``total_splits - len(splits)`` is the pruned split count EXPLAIN
+    #: reports.
+    total_splits: Optional[int] = None
     #: canonical agg key -> merged pre-computed state over all *inner* GFUs
     #: (only the DGF header path sets this; None means "no rewrite")
     header_states: Optional[Dict[str, Any]] = None

@@ -41,6 +41,8 @@ from repro.mapreduce.cluster import (PAPER_CLUSTER, ClusterConfig,
 from repro.mapreduce.cost import CostModel, JobStats, TimeBreakdown
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.splits import FileSplit
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Trace, Tracer
 from repro.storage.schema import Column, Schema
 from repro.storage.textfile import serialize_row
 
@@ -84,6 +86,9 @@ class QueryResult:
     rows: List[Tuple]
     stats: QueryStats = field(default_factory=QueryStats)
     description: str = ""
+    #: the query's span tree (populated for SELECTs); ``trace.to_json()``
+    #: emits the versioned document described in docs/observability.md.
+    trace: Optional[Trace] = None
 
     def scalar(self) -> Any:
         """The single value of a one-row/one-column result."""
@@ -112,7 +117,15 @@ class HiveSession:
         # sequential default keeps calibrated benchmark numbers unchanged.
         self.execution = execution if execution is not None \
             else ExecutionConfig()
-        self.engine = MapReduceEngine(self.fs, execution=self.execution)
+        # Observability: one tracer (per-query span trees, normalized-stable
+        # across worker counts) and one metrics registry per session.  The
+        # filesystem, KV store and engine all report into the same tracer.
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.fs.tracer = self.tracer
+        self.kvstore.tracer = self.tracer
+        self.engine = MapReduceEngine(self.fs, execution=self.execution,
+                                      tracer=self.tracer)
         self._handlers: Dict[str, IndexHandler] = {}
         self._load_counters: Dict[str, int] = {}
         self._register_default_handlers()
@@ -149,7 +162,7 @@ class HiveSession:
         if isinstance(stmt, ast.SelectStmt):
             return self._run_select(stmt, options)
         if isinstance(stmt, ast.ExplainStmt):
-            return self._explain(stmt.query, options)
+            return self._explain(stmt.query, options, analyze=stmt.analyze)
         if isinstance(stmt, ast.CreateTableStmt):
             return self._create_table(stmt)
         if isinstance(stmt, ast.CreateIndexStmt):
@@ -292,16 +305,64 @@ class HiveSession:
     # ---------------------------------------------------------------- SELECT
     def _run_select(self, stmt: ast.SelectStmt,
                     options: QueryOptions) -> QueryResult:
-        analysis = hexec.analyze(self.metastore, stmt)
-        plan = self._plan_access(analysis, options)
+        with self.tracer.span("query") as root:
+            result = self._execute_select(stmt, options, root)
+        if self.tracer.enabled:
+            result.trace = Trace(root)
+        return result
+
+    def _execute_select(self, stmt: ast.SelectStmt, options: QueryOptions,
+                        root: Span) -> QueryResult:
+        """Run one SELECT under the ``root`` span.
+
+        Every simulated-time contribution is attached to exactly one direct
+        child span (in the order it is accumulated into ``stats.time``), so
+        the root's ``sim`` reconciles bit-for-bit with the sum of its
+        children's — the invariant ``EXPLAIN ANALYZE`` and the trace tests
+        rely on.
+        """
+        with self.tracer.span("analyze") as analyze_span:
+            analysis = hexec.analyze(self.metastore, stmt)
+            analyze_span.set("columns", len(analysis.referenced_columns))
+        shape = "group/aggregate" if analysis.is_group_query else "projection"
+        root.set("table", analysis.table.name)
+        root.set("shape", shape)
+
+        with self.tracer.span("plan_access") as plan_span:
+            plan = self._plan_access(analysis, options)
+            if plan is not None:
+                plan_span.set("handler", plan.handler)
+                if plan.mode:
+                    plan_span.set("mode", plan.mode)
+                plan_span.set("inner_gfus", plan.inner_gfus)
+                plan_span.set("boundary_gfus", plan.boundary_gfus)
+                plan_span.set("splits_kept", len(plan.splits))
+                if plan.total_splits is not None:
+                    plan_span.set("splits_total", plan.total_splits)
+                plan_span.sim = plan.index_time
+            else:
+                plan_span.set("handler", "none")
+
         stats = QueryStats()
         time = TimeBreakdown()
+        if plan is not None:
+            stats.index_used = plan.description
+            stats.index_records_scanned = plan.index_records_scanned
+            stats.index_kv_gets = plan.index_kv_gets
+            time = time + plan.index_time
 
         # Join build sides (Hive's local map-join hash-table task).
-        build_stats = hexec.load_join_hash_tables(self.fs, analysis)
         if analysis.joins:
-            time = time + self.cost_model.job_seconds(build_stats,
-                                                      include_launch=False)
+            with self.tracer.span("join_build",
+                                  joins=len(analysis.joins)) as join_span:
+                build_stats = hexec.load_join_hash_tables(self.fs, analysis)
+                build_time = self.cost_model.job_seconds(
+                    build_stats, include_launch=False)
+                join_span.sim = build_time
+                join_span.add("input_records",
+                              build_stats.map_input_records)
+                join_span.add("input_bytes", build_stats.map_input_bytes)
+            time = time + build_time
             stats.records_read += build_stats.map_input_records
             stats.bytes_read += build_stats.map_input_bytes
 
@@ -316,8 +377,11 @@ class HiveSession:
         plain_rows: List[Tuple] = []
         if rewrite_grouped is not None:
             grouped = rewrite_grouped
-            time = time + TimeBreakdown(
-                read_index_and_other=self.cluster.job_launch_seconds)
+            with self.tracer.span("index_rewrite",
+                                  groups=len(grouped)) as rewrite_span:
+                rewrite_span.sim = TimeBreakdown(
+                    read_index_and_other=self.cluster.job_launch_seconds)
+            time = time + rewrite_span.sim
         elif splits:
             job = hexec.build_job(analysis, splits, input_format,
                                   job_name=f"select-{stmt.table.name}",
@@ -328,7 +392,8 @@ class HiveSession:
             stats.records_read += result.stats.map_input_records
             stats.bytes_read += result.stats.map_input_bytes
             stats.records_matched = result.counters.get("query", "matched")
-            time = time + self.cost_model.job_seconds(result.stats)
+            job_time = self._annotate_job_span(result)
+            time = time + job_time
             if analysis.is_group_query:
                 grouped = dict(result.output)
             else:
@@ -336,8 +401,10 @@ class HiveSession:
         else:
             # Fully covered by pre-computed headers (or empty table): Hive
             # still submits a job shell, so charge one launch.
-            time = time + TimeBreakdown(
-                read_index_and_other=self.cluster.job_launch_seconds)
+            with self.tracer.span("job_launch") as launch_span:
+                launch_span.sim = TimeBreakdown(
+                    read_index_and_other=self.cluster.job_launch_seconds)
+            time = time + launch_span.sim
 
         if (analysis.is_group_query and not analysis.group_exprs
                 and hexec._GLOBAL_KEY not in grouped):
@@ -347,29 +414,89 @@ class HiveSession:
                 agg.function.initial() for agg in analysis.aggregates)
 
         if header_states is not None:
-            grouped = self._merge_header_states(analysis, grouped,
-                                                header_states)
+            with self.tracer.span("merge_headers") as merge_span:
+                grouped = self._merge_header_states(analysis, grouped,
+                                                    header_states)
+                merge_span.add("header_aggregates", len(header_states))
 
-        if analysis.is_group_query:
-            rows = hexec.finalize_group_output(analysis, grouped)
-        else:
-            rows = plain_rows
-        rows = hexec.apply_order_and_limit(analysis, rows)
-        stats.output_records = len(rows)
+        with self.tracer.span("finalize") as finalize_span:
+            if analysis.is_group_query:
+                rows = hexec.finalize_group_output(analysis, grouped)
+            else:
+                rows = plain_rows
+            rows = hexec.apply_order_and_limit(analysis, rows)
+            stats.output_records = len(rows)
+            finalize_span.add("output_records", len(rows))
 
         if stmt.insert_directory:
-            time = time + self._write_directory(stmt.insert_directory,
-                                                rows, stats)
+            with self.tracer.span(
+                    "write_output",
+                    directory=stmt.insert_directory) as write_span:
+                write_time = self._write_directory(stmt.insert_directory,
+                                                   rows, stats)
+                write_span.sim = write_time
+            time = time + write_time
 
-        if plan is not None:
-            stats.index_used = plan.description
-            stats.index_records_scanned = plan.index_records_scanned
-            stats.index_kv_gets = plan.index_kv_gets
-            time = time + plan.index_time
         stats.time = time
+        root.sim = time
+        root.add("records_read", stats.records_read)
+        root.add("bytes_read", stats.bytes_read)
+        root.add("records_matched", stats.records_matched)
+        root.add("output_records", stats.output_records)
+        root.add("splits_processed", stats.splits_processed)
+        self._record_query_metrics(shape, plan, stats)
         return QueryResult(columns=list(analysis.output_names), rows=rows,
                            stats=stats,
                            description=self._describe(analysis, plan, splits))
+
+    def _annotate_job_span(self, result) -> TimeBreakdown:
+        """Attach the cost model's per-phase seconds to the engine's spans.
+
+        The phases come from :meth:`CostModel.job_phases`, the same numbers
+        :meth:`CostModel.job_seconds` folds into the job total, so the
+        ``mr_job`` span's sim equals the sum of its phase children's sims
+        exactly (a synthetic ``job_launch`` child carries the fixed launch
+        overhead, which the engine cannot know about).
+        """
+        job_time = self.cost_model.job_seconds(result.stats)
+        span = result.trace_span
+        if span is None:
+            return job_time
+        phases = self.cost_model.job_phases(result.stats)
+        span.sim = job_time
+        span.children.insert(0, Span(
+            name="job_launch",
+            sim=TimeBreakdown(read_index_and_other=phases["launch"])))
+        names = (("map_phase", "map"), ("shuffle", "shuffle"),
+                 ("reduce_phase", "reduce"))
+        for child_name, phase in names:
+            child = span.child(child_name)
+            if child is not None:
+                child.sim = TimeBreakdown(
+                    read_data_and_process=phases[phase])
+        return job_time
+
+    def _record_query_metrics(self, shape: str,
+                              plan: Optional[IndexAccessPlan],
+                              stats: QueryStats) -> None:
+        handler = plan.handler if plan is not None else "none"
+        self.metrics.counter(
+            "queries_total", "SELECT statements executed").inc(
+                shape=shape, index=handler)
+        self.metrics.histogram(
+            "query_sim_seconds",
+            "simulated paper-scale seconds per query").observe(
+                stats.time.total, shape=shape)
+        self.metrics.counter(
+            "mr_jobs_total", "MapReduce jobs launched by queries").inc(
+                stats.jobs)
+        self.metrics.counter(
+            "records_read_total", "base-table records fed to mappers").inc(
+                stats.records_read)
+        self.metrics.gauge(
+            "last_query_splits",
+            "splits processed by the most recent query").set(
+                stats.splits_processed)
 
     def _merge_header_states(self, analysis: hexec.AnalyzedSelect,
                              grouped: Dict[Any, Tuple],
@@ -425,8 +552,11 @@ class HiveSession:
                             key=lambda i: priority.get(i.handler, 9)):
             if not index.built:
                 continue
-            plan = self.handler(index.handler).plan_access(
-                self, table, index, ctx)
+            with self.tracer.span(f"plan:{index.handler}",
+                                  index=index.name) as handler_span:
+                plan = self.handler(index.handler).plan_access(
+                    self, table, index, ctx)
+                handler_span.set("selected", plan is not None)
             if plan is not None:
                 return plan
         return None
@@ -494,6 +624,21 @@ class HiveSession:
                          f"{len(analysis.joins)}")
         if plan is not None:
             lines.append(f"index: {plan.description}")
+            lines.append(f"  handler: {plan.handler}"
+                         + (f" mode={plan.mode}" if plan.mode else ""))
+            if plan.inner_gfus or plan.boundary_gfus:
+                lines.append(f"  gfus: inner={plan.inner_gfus} "
+                             f"boundary={plan.boundary_gfus}")
+            if plan.total_splits is not None:
+                pruned = plan.total_splits - len(plan.splits)
+                lines.append(f"  splits kept: {len(plan.splits)} of "
+                             f"{plan.total_splits} ({pruned} pruned)")
+            if plan.rewrite_grouped is not None:
+                lines.append("  rewrite: answered from index "
+                             "(main job skipped)")
+            elif plan.header_states is not None:
+                lines.append("  headers: inner region answered from "
+                             "pre-computed aggregates")
         else:
             lines.append("index: none (full scan)")
         lines.append(f"splits: {len(splits)}")
@@ -501,8 +646,20 @@ class HiveSession:
         lines.append(f"shape: {shape}")
         return "\n".join(lines)
 
-    def _explain(self, stmt: ast.SelectStmt,
-                 options: QueryOptions) -> QueryResult:
+    def _explain(self, stmt: ast.SelectStmt, options: QueryOptions,
+                 analyze: bool = False) -> QueryResult:
+        if analyze:
+            # EXPLAIN ANALYZE: execute the query, then render the span tree
+            # (the plan-only lines first, for context).
+            result = self._run_select(stmt, options)
+            text = result.description
+            if result.trace is not None:
+                text = text + "\n" + result.trace.render()
+            return QueryResult(columns=["plan"],
+                               rows=[(line,) for line in text.split("\n")],
+                               stats=result.stats,
+                               description=text,
+                               trace=result.trace)
         analysis = hexec.analyze(self.metastore, stmt)
         plan = self._plan_access(analysis, options)
         splits, _fmt = self._resolve_splits(analysis, plan)

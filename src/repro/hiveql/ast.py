@@ -278,3 +278,5 @@ class DescribeStmt(Statement):
 @dataclass(frozen=True)
 class ExplainStmt(Statement):
     query: SelectStmt
+    #: ``EXPLAIN ANALYZE``: execute the query and render its trace tree.
+    analyze: bool = False

@@ -10,7 +10,8 @@ from repro.errors import HiveQLSyntaxError
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC",
     "LIMIT", "JOIN", "INNER", "ON", "AS", "AND", "OR", "NOT", "BETWEEN",
-    "IN", "CREATE", "TABLE", "INDEX", "DROP", "EXPLAIN", "SHOW", "TABLES",
+    "IN", "CREATE", "TABLE", "INDEX", "DROP", "EXPLAIN", "ANALYZE", "SHOW",
+    "TABLES",
     "INDEXES", "DESCRIBE", "INSERT", "OVERWRITE", "INTO", "DIRECTORY",
     "STORED", "PARTITIONED", "IDXPROPERTIES", "WITH", "DEFERRED", "REBUILD",
     "NULL", "TRUE", "FALSE", "DISTINCT", "LIKE", "IF", "EXISTS",

@@ -85,10 +85,11 @@ class _Parser:
     # ------------------------------------------------------------ statements
     def statement(self) -> ast.Statement:
         if self.accept_keyword("EXPLAIN"):
+            analyze = self.accept_keyword("ANALYZE") is not None
             query = self.statement()
             if not isinstance(query, ast.SelectStmt):
                 raise self.error("EXPLAIN supports SELECT statements only")
-            return ast.ExplainStmt(query=query)
+            return ast.ExplainStmt(query=query, analyze=analyze)
         if self.current.is_keyword("SELECT"):
             return self.select_statement()
         if self.current.is_keyword("INSERT"):

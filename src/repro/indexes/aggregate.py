@@ -142,6 +142,7 @@ class AggregateIndexHandler(IndexHandler):
             description=f"aggregate({index.name}) group-by rewrite",
             splits=[], index_time=index_time,
             rewrite_grouped=rewrite_grouped,
+            handler=self.handler_name, mode="rewrite",
             index_records_scanned=records)
 
     def drop(self, session, index: IndexInfo) -> None:

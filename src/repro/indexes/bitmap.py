@@ -148,6 +148,7 @@ class BitmapIndexHandler(IndexHandler):
                          f"{len(chosen)}/{total}, "
                          f"groups {len(allowed)}"),
             splits=chosen, input_format=input_format, index_time=index_time,
+            handler=self.handler_name, mode="splits", total_splits=total,
             index_records_scanned=records)
 
     def drop(self, session, index: IndexInfo) -> None:

@@ -128,6 +128,7 @@ class CompactIndexHandler(IndexHandler):
             description=(f"compact({index.name}) "
                          f"splits {len(chosen)}/{total}"),
             splits=chosen, input_format=None, index_time=index_time,
+            handler=self.handler_name, mode="splits", total_splits=total,
             index_records_scanned=records)
 
     def drop(self, session, index: IndexInfo) -> None:

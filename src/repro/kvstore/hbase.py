@@ -51,7 +51,15 @@ class KVStore:
         self.max_region_keys = max_region_keys
         self._regions: List[Region] = [Region(start_key="")]
         self.stats = KVStats()
+        #: optional :class:`repro.obs.trace.Tracer`; when set, each op also
+        #: lands as a ``kv.*`` counter on the calling thread's active span.
+        self.tracer = None
         self._lock = threading.RLock()
+
+    def _trace_op(self, name: str, amount: int = 1) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.add(name, amount)
 
     # --------------------------------------------------------------- regions
     @property
@@ -85,12 +93,14 @@ class KVStore:
             region.values[key] = value
             self.stats.puts += 1
             self._maybe_split(region)
+        self._trace_op("kv.puts")
 
     def put_all(self, items: Dict[str, Any]) -> None:
         for key, value in items.items():
             self.put(key, value)
 
     def get(self, key: str) -> Optional[Any]:
+        self._trace_op("kv.gets")
         with self._lock:
             self.stats.gets += 1
             return self._region_for(key).values.get(key)
@@ -115,6 +125,7 @@ class KVStore:
             return True
 
     def contains(self, key: str) -> bool:
+        self._trace_op("kv.gets")
         with self._lock:
             self.stats.gets += 1
             return key in self._region_for(key).values
@@ -130,6 +141,7 @@ class KVStore:
                 if stop_key is not None and key >= stop_key:
                     return
                 self.stats.rows_scanned += 1
+                self._trace_op("kv.rows_scanned")
                 yield key, region.values[key]
 
     def count(self) -> int:

@@ -117,9 +117,16 @@ class CostModel:
         self.sim_block_size = sim_block_size
 
     # ------------------------------------------------------------------ jobs
-    def job_seconds(self, stats: JobStats,
-                    include_launch: bool = True) -> TimeBreakdown:
-        """Simulated duration of one MapReduce job over base data."""
+    def job_phases(self, stats: JobStats,
+                   include_launch: bool = True) -> "dict[str, float]":
+        """Per-phase simulated seconds of one MapReduce job.
+
+        Returns ``{"launch", "map", "shuffle", "reduce"}``.  This is the
+        single source of truth for :meth:`job_seconds` (which folds the
+        phases into a :class:`TimeBreakdown` without re-deriving them), so
+        per-phase numbers attached to trace spans reconcile bit-for-bit
+        with the query's totals.
+        """
         c = self.cluster
         scale = self.data_scale
         bytes_in = stats.map_input_bytes * scale
@@ -149,9 +156,17 @@ class CostModel:
                            * c.reduce_seconds_per_byte / reduce_slots_used)
 
         launch = c.job_launch_seconds if include_launch else 0.0
+        return {"launch": launch, "map": map_time,
+                "shuffle": shuffle_time, "reduce": reduce_time}
+
+    def job_seconds(self, stats: JobStats,
+                    include_launch: bool = True) -> TimeBreakdown:
+        """Simulated duration of one MapReduce job over base data."""
+        phases = self.job_phases(stats, include_launch=include_launch)
         return TimeBreakdown(
-            read_index_and_other=launch,
-            read_data_and_process=map_time + shuffle_time + reduce_time)
+            read_index_and_other=phases["launch"],
+            read_data_and_process=(phases["map"] + phases["shuffle"]
+                                   + phases["reduce"]))
 
     def job_seconds_measured(self, stats: JobStats,
                              tasks: Sequence[TaskStats],

@@ -26,6 +26,7 @@ from repro.mapreduce.cluster import ExecutionConfig, SEQUENTIAL
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.cost import TaskStats
 from repro.mapreduce.job import Job, JobResult, TaskContext
+from repro.obs.trace import NULL_TRACER, Span, Tracer
 
 
 def estimate_size(obj: Any) -> int:
@@ -76,6 +77,9 @@ class _TaskOutcome:
     output_records: int = 0
     input_bytes: int = 0
     output_bytes: int = 0
+    #: the task's trace span, attached to the phase span at the barrier
+    #: (in task order) so trace shape never depends on thread scheduling.
+    span: Optional[Span] = None
 
     def stats(self, kind: str) -> TaskStats:
         return TaskStats(task_id=self.task_id, kind=kind,
@@ -88,9 +92,11 @@ class _TaskOutcome:
 class MapReduceEngine:
     """Runs :class:`~repro.mapreduce.job.Job` objects against an HDFS."""
 
-    def __init__(self, fs: HDFS, execution: Optional[ExecutionConfig] = None):
+    def __init__(self, fs: HDFS, execution: Optional[ExecutionConfig] = None,
+                 tracer: Optional[Tracer] = None):
         self.fs = fs
         self.execution = execution if execution is not None else SEQUENTIAL
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.jobs_run = 0
 
     def run(self, job: Job) -> JobResult:
@@ -98,6 +104,13 @@ class MapReduceEngine:
         execution = job.execution if job.execution is not None \
             else self.execution
         workers = execution.worker_count()
+        with self.tracer.span("mr_job", job=job.name) as job_span:
+            result = self._run(job, workers, job_span)
+        result.trace_span = job_span if self.tracer.enabled else None
+        self.jobs_run += 1
+        return result
+
+    def _run(self, job: Job, workers: int, job_span: Span) -> JobResult:
         result = JobResult(job_name=job.name)
         stats = result.stats
         counters = result.counters
@@ -110,50 +123,66 @@ class MapReduceEngine:
         num_partitions = max(1, job.num_reducers)
         partitioner = job.partitioner or stable_hash
 
-        map_outcomes = self._run_phase(
-            [lambda tid=task_id, s=split: self._map_task(job, tid, s)
-             for task_id, split in enumerate(splits)], workers)
+        with self.tracer.span("map_phase", tasks=len(splits)) as map_span:
+            map_outcomes = self._run_phase(
+                [lambda tid=task_id, s=split: self._map_task(job, tid, s)
+                 for task_id, split in enumerate(splits)], workers)
 
-        # Barrier: merge map outcomes in split order, so shuffle value
-        # lists, counters and stats are identical for any worker count.
+            # Barrier: merge map outcomes in split order, so shuffle value
+            # lists, counters and stats are identical for any worker count.
+            for outcome in map_outcomes:
+                if outcome.span is not None:
+                    map_span.attach(outcome.span)
+                stats.map_input_records += outcome.input_records
+                stats.map_input_bytes += outcome.input_bytes
+                stats.map_output_records += outcome.output_records
+                counters.merge(outcome.counters)
+                result.task_stats.append(outcome.stats("map"))
+            map_span.add("input_records", stats.map_input_records)
+            map_span.add("input_bytes", stats.map_input_bytes)
+            map_span.add("output_records", stats.map_output_records)
+
         shuffle: List[Dict[Any, List[Any]]] = [dict()
                                                for _ in range(num_partitions)]
         map_only_output: List[Tuple[Any, Any]] = []
-        for outcome in map_outcomes:
-            stats.map_input_records += outcome.input_records
-            stats.map_input_bytes += outcome.input_bytes
-            stats.map_output_records += outcome.output_records
-            counters.merge(outcome.counters)
-            result.task_stats.append(outcome.stats("map"))
-            if job.reducer is None:
-                map_only_output.extend(outcome.emits)
-                continue
-            for key, value in outcome.emits:
-                stats.shuffle_bytes += estimate_size(key) + estimate_size(value)
-                bucket = shuffle[partitioner(key) % num_partitions]
-                bucket.setdefault(key, []).append(value)
-
         if job.reducer is None:
+            for outcome in map_outcomes:
+                map_only_output.extend(outcome.emits)
             result.output = map_only_output
             counters.set("job", "map_tasks", stats.map_tasks)
-            self.jobs_run += 1
             return result
 
-        reduce_outcomes = self._run_phase(
-            [lambda tid=task_id, b=bucket: self._reduce_task(job, tid, b)
-             for task_id, bucket in enumerate(shuffle)
-             if bucket or num_partitions == 1], workers)
-        for outcome in reduce_outcomes:
-            stats.reduce_tasks += 1
-            stats.reduce_input_records += outcome.input_records
-            stats.output_bytes += outcome.output_bytes
-            counters.merge(outcome.counters)
-            result.task_stats.append(outcome.stats("reduce"))
-            result.output.extend(outcome.emits)
+        with self.tracer.span("shuffle",
+                              partitions=num_partitions) as shuffle_span:
+            for outcome in map_outcomes:
+                for key, value in outcome.emits:
+                    stats.shuffle_bytes += (estimate_size(key)
+                                            + estimate_size(value))
+                    bucket = shuffle[partitioner(key) % num_partitions]
+                    bucket.setdefault(key, []).append(value)
+            shuffle_span.add("shuffle_bytes", stats.shuffle_bytes)
+            shuffle_span.add("shuffle_records", stats.map_output_records)
+
+        with self.tracer.span("reduce_phase") as reduce_span:
+            reduce_outcomes = self._run_phase(
+                [lambda tid=task_id, b=bucket: self._reduce_task(job, tid, b)
+                 for task_id, bucket in enumerate(shuffle)
+                 if bucket or num_partitions == 1], workers)
+            for outcome in reduce_outcomes:
+                if outcome.span is not None:
+                    reduce_span.attach(outcome.span)
+                stats.reduce_tasks += 1
+                stats.reduce_input_records += outcome.input_records
+                stats.output_bytes += outcome.output_bytes
+                counters.merge(outcome.counters)
+                result.task_stats.append(outcome.stats("reduce"))
+                result.output.extend(outcome.emits)
+            reduce_span.set("tasks", stats.reduce_tasks)
+            reduce_span.add("input_records", stats.reduce_input_records)
+            reduce_span.add("output_bytes", stats.output_bytes)
 
         counters.set("job", "map_tasks", stats.map_tasks)
         counters.set("job", "reduce_tasks", stats.reduce_tasks)
-        self.jobs_run += 1
         return result
 
     # ----------------------------------------------------------------- tasks
@@ -175,14 +204,20 @@ class MapReduceEngine:
         ctx.split = split
         outcome = _TaskOutcome(task_id=task_id, emits=emits,
                                counters=counters)
-        with task_io_scope() as scope:
-            for key, value in job.input_format.read_split(self.fs, split):
-                outcome.input_records += 1
-                job.mapper(key, value, ctx)
-            outcome.input_bytes = scope.captured(self.fs.io).bytes_read
-        outcome.output_records = len(emits)
-        if job.reducer is not None and job.combiner is not None:
-            outcome.emits = self._combine(job, emits, counters)
+        with self.tracer.task_span("map", task=task_id) as span:
+            with task_io_scope() as scope:
+                for key, value in job.input_format.read_split(self.fs, split):
+                    outcome.input_records += 1
+                    job.mapper(key, value, ctx)
+                outcome.input_bytes = scope.captured(self.fs.io).bytes_read
+            outcome.output_records = len(emits)
+            if job.reducer is not None and job.combiner is not None:
+                outcome.emits = self._combine(job, emits, counters)
+            span.add("input_records", outcome.input_records)
+            span.add("input_bytes", outcome.input_bytes)
+            span.add("output_records", outcome.output_records)
+        if self.tracer.enabled:
+            outcome.span = span
         return outcome
 
     def _reduce_task(self, job: Job, task_id: int,
@@ -193,19 +228,25 @@ class MapReduceEngine:
                           lambda k, v, buf=emits: buf.append((k, v)))
         outcome = _TaskOutcome(task_id=task_id, emits=emits,
                                counters=counters)
-        with task_io_scope() as scope:
-            if job.reduce_setup is not None:
-                job.reduce_setup(ctx)
-            try:
-                for key in sorted(bucket):
-                    values = bucket[key]
-                    outcome.input_records += len(values)
-                    job.reducer(key, values, ctx)
-            finally:
-                if job.reduce_cleanup is not None:
-                    job.reduce_cleanup(ctx)
-            outcome.output_bytes = scope.captured(self.fs.io).bytes_written
-        outcome.output_records = len(emits)
+        with self.tracer.task_span("reduce", task=task_id) as span:
+            with task_io_scope() as scope:
+                if job.reduce_setup is not None:
+                    job.reduce_setup(ctx)
+                try:
+                    for key in sorted(bucket):
+                        values = bucket[key]
+                        outcome.input_records += len(values)
+                        job.reducer(key, values, ctx)
+                finally:
+                    if job.reduce_cleanup is not None:
+                        job.reduce_cleanup(ctx)
+                outcome.output_bytes = scope.captured(self.fs.io).bytes_written
+            outcome.output_records = len(emits)
+            span.add("input_records", outcome.input_records)
+            span.add("output_records", outcome.output_records)
+            span.add("output_bytes", outcome.output_bytes)
+        if self.tracer.enabled:
+            outcome.span = span
         return outcome
 
     @staticmethod

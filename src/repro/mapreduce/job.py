@@ -92,3 +92,7 @@ class JobResult:
     counters: Counters = field(default_factory=Counters)
     stats: JobStats = field(default_factory=JobStats)
     task_stats: List[TaskStats] = field(default_factory=list)
+    #: the engine's ``mr_job`` trace span for this run (None when the
+    #: engine has no enabled tracer); the session annotates its phase
+    #: children with cost-model seconds after the job completes.
+    trace_span: Optional[Any] = None

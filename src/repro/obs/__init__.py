@@ -1,0 +1,14 @@
+"""Query-lifecycle observability: structured tracing and a metrics registry.
+
+``repro.obs.trace`` provides the span API behind ``EXPLAIN ANALYZE`` and
+``QueryResult.trace``; ``repro.obs.metrics`` provides named counters,
+gauges and histograms with label support.  See ``docs/observability.md``
+for the span taxonomy and the versioned JSON trace schema.
+"""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (NULL_TRACER, Span, Trace, Tracer,
+                             TRACE_SCHEMA, TRACE_VERSION, validate_trace)
+
+__all__ = ["MetricsRegistry", "NULL_TRACER", "Span", "Trace", "Tracer",
+           "TRACE_SCHEMA", "TRACE_VERSION", "validate_trace"]

@@ -1,0 +1,203 @@
+"""Named metrics with label support: counters, gauges, histograms.
+
+The :class:`MetricsRegistry` is the process-wide (per-session) complement
+to the per-query trace tree: traces answer "where did *this* query spend
+its time", metrics answer "what has this session done so far" (queries by
+shape, index hit rates, simulated-seconds distribution).  The bench
+harness snapshots a registry next to its trace artifacts.
+
+Thread model: one registry lock serializes all updates.  Metric updates
+happen at query/job granularity (not per record or per I/O op), so the
+lock is never on a hot path; the per-op accounting stays in
+:mod:`repro.hdfs.metrics` and the trace counters, which are lock-free.
+
+Labels: every update may carry keyword labels (``inc(shape="agg")``); each
+distinct label combination is tracked as its own series, keyed by the
+sorted ``(key, value)`` tuple so call-site ordering does not matter.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: histogram bucket upper bounds (seconds-flavoured, but unit-agnostic).
+DEFAULT_BUCKETS = (0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common bookkeeping: name, help text, per-label-set series."""
+
+    kind = "?"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+        self._series: Dict[LabelKey, Any] = {}
+
+    def labels(self) -> List[LabelKey]:
+        with self._lock:
+            return sorted(self._series)
+
+    def _snapshot_value(self, value: Any) -> Any:
+        return value
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            series = {", ".join(f"{k}={v}" for k, v in key) or "":
+                      self._snapshot_value(value)
+                      for key, value in sorted(self._series.items())}
+        return {"kind": self.kind, "help": self.help, "series": series}
+
+
+class Counter(Metric):
+    """Monotonically increasing count (e.g. queries executed)."""
+
+    kind = "counter"
+
+    def inc(self, amount: Number = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> Number:
+        with self._lock:
+            return self._series.get(_label_key(labels), 0)
+
+
+class Gauge(Metric):
+    """A value that goes up and down (e.g. splits kept by the last plan)."""
+
+    kind = "gauge"
+
+    def set(self, value: Number, **labels: Any) -> None:
+        with self._lock:
+            self._series[_label_key(labels)] = value
+
+    def inc(self, amount: Number = 1, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> Optional[Number]:
+        with self._lock:
+            return self._series.get(_label_key(labels))
+
+
+class _HistogramSeries:
+    __slots__ = ("count", "total", "bucket_counts")
+
+    def __init__(self, num_buckets: int):
+        self.count = 0
+        self.total = 0.0
+        # one extra bucket for "> last bound" (the +Inf bucket)
+        self.bucket_counts = [0] * (num_buckets + 1)
+
+
+class Histogram(Metric):
+    """Distribution of observed values over fixed bucket upper bounds."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock,
+                 buckets: Sequence[Number] = DEFAULT_BUCKETS):
+        super().__init__(name, help, lock)
+        self.buckets: Tuple[Number, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+
+    def observe(self, value: Number, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets))
+                self._series[key] = series
+            series.count += 1
+            series.total += value
+            series.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
+
+    def count(self, **labels: Any) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series.total if series else 0.0
+
+    def bucket_counts(self, **labels: Any) -> List[int]:
+        """Per-bucket counts; the last entry is the overflow (+Inf) bucket."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return [0] * (len(self.buckets) + 1)
+            return list(series.bucket_counts)
+
+    def _snapshot_value(self, series: _HistogramSeries) -> Dict[str, Any]:
+        return {"count": series.count, "sum": series.total,
+                "buckets": dict(zip([str(b) for b in self.buckets]
+                                    + ["+Inf"], series.bucket_counts))}
+
+
+class MetricsRegistry:
+    """Creates and holds metrics; repeated lookups return the same object."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory, kind) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, lambda: Counter(name, help, threading.Lock()), Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(
+            name, lambda: Gauge(name, help, threading.Lock()), Gauge)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[Number] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(
+            name, lambda: Histogram(name, help, threading.Lock(), buckets),
+            Histogram)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as plain JSON-able data, sorted by name."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot()
+                for name, metric in sorted(metrics.items())}
+
+    def render(self) -> str:
+        """Text exposition (one ``name{labels} value`` line per series)."""
+        lines: List[str] = []
+        for name, data in self.snapshot().items():
+            lines.append(f"# {name} ({data['kind']})"
+                         + (f": {data['help']}" if data["help"] else ""))
+            for label, value in data["series"].items():
+                rendered = f"{{{label}}}" if label else ""
+                lines.append(f"{name}{rendered} {value}")
+        return "\n".join(lines)

@@ -13,8 +13,9 @@ Two entry points, both asserting *byte-identical* results across
   optional index build, queries) through independent :class:`HiveSession`s,
   comparing result rows, per-query ``QueryStats`` (including the simulated
   cost-model seconds, which are pure functions of the measured counters),
-  index-build reports, global filesystem I/O totals and key-value-store op
-  counts.
+  normalized query traces (the full span tree with wall times zeroed —
+  see docs/observability.md), index-build reports, global filesystem I/O
+  totals and key-value-store op counts.
 
 Fingerprints are plain dicts compared with ``==``; on mismatch the harness
 reports exactly which entries diverged, which is what turns "the engines
@@ -64,6 +65,10 @@ def query_fingerprint(result: QueryResult) -> Dict[str, Any]:
         "index_kv_gets": stats.index_kv_gets,
         "time": (stats.time.read_index_and_other,
                  stats.time.read_data_and_process),
+        # The whole span tree, wall times zeroed: trace shape, attrs,
+        # counters and simulated times must not depend on worker count.
+        "trace": (result.trace.normalized()
+                  if result.trace is not None else None),
     }
 
 

@@ -1,15 +1,26 @@
 """Test the ``python -m repro.bench`` CLI end to end at a tiny scale."""
 
+import json
 import pathlib
 
 from repro.bench.__main__ import main
+from repro.obs.trace import validate_trace
 
 
 def test_cli_writes_report(tmp_path):
     output = tmp_path / "report.md"
-    code = main(["--output", str(output), "--users", "500", "--days", "6",
+    traces = tmp_path / "traces.json"
+    code = main(["--output", str(output), "--traces", str(traces),
+                 "--users", "500", "--days", "6",
                  "--readings", "4", "--tpch-orders", "1500", "--quiet"])
     assert code == 0
+    document = json.loads(traces.read_text())
+    assert [t["label"] for t in document["traces"]] == [
+        "agg-5pct", "agg-point", "groupby-5pct"]
+    for entry in document["traces"]:
+        validate_trace(entry["trace"])
+        assert entry["trace"]["root"]["wall_seconds"] == 0.0
+    assert "queries_total" in document["metrics"]
     text = output.read_text()
     assert text.startswith("# EXPERIMENTS")
     # one section per paper artifact + the appendix

@@ -1,0 +1,57 @@
+"""Documentation health: intra-repo markdown links resolve, and the
+executable examples in docs/observability.md pass under doctest."""
+
+import doctest
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: inline markdown link — [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    return sorted(
+        path for path in REPO_ROOT.rglob("*.md")
+        if ".git" not in path.parts)
+
+
+def _iter_links(path: pathlib.Path):
+    """Inline links outside fenced code blocks, with line numbers."""
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield number, match.group(1)
+
+
+@pytest.mark.parametrize("path", markdown_files(),
+                         ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_intra_repo_markdown_links_resolve(path):
+    broken = []
+    for number, target in _iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = (path.parent / local).resolve()
+        if not resolved.exists():
+            broken.append(f"{path.name}:{number}: {target}")
+    assert not broken, "broken intra-repo links:\n" + "\n".join(broken)
+
+
+def test_observability_doctests():
+    """Every ``>>>`` example in docs/observability.md must run verbatim."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "observability.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 20, "doctest examples went missing"
+    assert results.failed == 0

@@ -1,0 +1,129 @@
+"""Metrics registry: counters, gauges, histograms, labels, session wiring."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                               MetricsRegistry)
+from tests.conftest import METER_DDL, make_session, meter_rows
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops", "operations")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labels_are_separate_series(self):
+        counter = MetricsRegistry().counter("queries")
+        counter.inc(shape="agg")
+        counter.inc(2, shape="projection")
+        assert counter.value(shape="agg") == 1
+        assert counter.value(shape="projection") == 2
+        assert counter.value(shape="other") == 0
+
+    def test_label_order_does_not_matter(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc(a=1, b=2)
+        assert counter.value(b=2, a=1) == 1
+
+    def test_counter_cannot_decrease(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        gauge = MetricsRegistry().gauge("g")
+        assert gauge.value() is None
+        gauge.set(7)
+        gauge.inc(-2)
+        assert gauge.value() == 5
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 5.0, 50.0, 5000.0):
+            histogram.observe(value)
+        assert histogram.count() == 5
+        assert histogram.sum() == pytest.approx(5060.5)
+        assert histogram.bucket_counts() == [1, 2, 1, 1]
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.count() == 0
+        assert histogram.sum() == 0.0
+        assert histogram.bucket_counts() == [0] * (len(DEFAULT_BUCKETS) + 1)
+
+    def test_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("name")
+
+    def test_snapshot_is_json_able(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help text").inc(shape="agg")
+        registry.gauge("g").set(3)
+        registry.histogram("h").observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["c"]["kind"] == "counter"
+        assert snapshot["c"]["series"] == {"shape=agg": 1}
+        assert snapshot["h"]["series"][""]["count"] == 1
+
+    def test_render_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc(2, shape="agg")
+        text = registry.render()
+        assert "# c (counter): a counter" in text
+        assert "c{shape=agg} 2" in text
+
+    def test_concurrent_updates_are_lossless(self):
+        counter = MetricsRegistry().counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 4000
+
+
+class TestSessionMetrics:
+    def test_select_updates_session_metrics(self):
+        session = make_session()
+        session.execute(METER_DDL)
+        session.load_rows("meterdata", meter_rows(num_users=40, num_days=2))
+        session.execute("SELECT sum(powerconsumed) FROM meterdata")
+        session.execute("SELECT userid FROM meterdata WHERE userid < 5")
+        metrics = session.metrics
+        assert metrics.counter("queries_total").value(
+            shape="group/aggregate", index="none") == 1
+        assert metrics.counter("queries_total").value(
+            shape="projection", index="none") == 1
+        assert metrics.counter("mr_jobs_total").value() == 2
+        assert metrics.counter("records_read_total").value() > 0
+        assert metrics.histogram("query_sim_seconds").count(
+            shape="projection") == 1

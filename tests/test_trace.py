@@ -1,0 +1,307 @@
+"""Query-lifecycle tracing: span API, JSON schema, EXPLAIN ANALYZE,
+cross-worker determinism, sim-time reconciliation, and overhead."""
+
+import json
+import time
+
+import pytest
+
+from repro.mapreduce.cluster import ExecutionConfig
+from repro.mapreduce.cost import TimeBreakdown
+from repro.obs.trace import (NULL_SPAN, NULL_TRACER, Span, Trace, Tracer,
+                             TRACE_SCHEMA, TRACE_VERSION, validate_trace)
+from tests.conftest import METER_DDL, SCAN, make_session, meter_rows
+
+MDRQ = ("SELECT sum(powerconsumed) FROM meterdata "
+        "WHERE userid >= 30 AND userid < 170 "
+        "AND ts >= '2012-12-02' AND ts < '2012-12-05'")
+
+DGF_INDEX = ("CREATE INDEX dgf_idx ON TABLE meterdata"
+             "(userid, regionid, ts) AS 'dgf' IDXPROPERTIES ("
+             "'userid'='0_25', 'regionid'='0_1', 'ts'='2012-12-01_2d', "
+             "'precompute'='sum(powerconsumed),count(*)')")
+
+
+def dgf_meter_session(execution=None):
+    session = make_session(execution=execution)
+    session.execute(METER_DDL)
+    rows = meter_rows()
+    half = len(rows) // 2
+    session.load_rows("meterdata", rows[:half])
+    session.load_rows("meterdata", rows[half:])
+    session.execute(DGF_INDEX)
+    return session
+
+
+# ------------------------------------------------------------------ span API
+class TestSpanApi:
+    def test_attrs_counters_children(self):
+        span = Span("root")
+        span.set("k", "v")
+        span.add("n", 2)
+        span.add("n", 3)
+        child = span.child("missing")
+        assert child is None
+        span.attach(Span("child"))
+        assert span.attrs == {"k": "v"}
+        assert span.counters == {"n": 5}
+        assert span.child("child").name == "child"
+
+    def test_walk_find_total(self):
+        root = Span("root", counters={"x": 1})
+        a = Span("a", counters={"x": 2})
+        b = Span("b", counters={"x": 4})
+        a.attach(b)
+        root.attach(a)
+        assert [s.name for s in root.walk()] == ["root", "a", "b"]
+        assert root.find("b") is b
+        assert root.total_counter("x") == 7
+
+    def test_children_sim_sum_matches_accumulation_order(self):
+        root = Span("root")
+        values = [0.1, 0.2, 0.30000000000000004, 7.7]
+        acc = TimeBreakdown()
+        for index, value in enumerate(values):
+            child = Span(f"c{index}",
+                         sim=TimeBreakdown(read_data_and_process=value))
+            root.attach(child)
+            acc = acc + child.sim
+        root.attach(Span("no-sim"))  # spans without sim are skipped
+        assert root.children_sim_sum() == acc
+
+    def test_tracer_nests_on_one_thread(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner", k=1) as inner:
+                tracer.add("ops", 2)
+            assert inner.attrs == {"k": 1}
+        assert outer.children == [inner]
+        assert inner.counters == {"ops": 2}
+        assert tracer.current() is None
+
+    def test_task_span_stays_detached(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.task_span("task") as task:
+                tracer.add("ops")
+        assert outer.children == []  # caller attaches at the barrier
+        assert task.counters == {"ops": 1}
+
+    def test_disabled_tracer_yields_null_span(self):
+        with NULL_TRACER.span("anything") as span:
+            span.set("k", "v")
+            span.add("n")
+            span.attach(Span("child"))
+        assert span is NULL_SPAN
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.counters == {}
+        assert NULL_SPAN.children == []
+
+    def test_add_without_open_span_is_noop(self):
+        Tracer().add("orphan")  # must not raise
+
+
+# --------------------------------------------------------------- JSON schema
+class TestTraceJson:
+    def make_trace(self):
+        root = Span("query", attrs={"table": "t"}, counters={"rows": 3},
+                    sim=TimeBreakdown(read_index_and_other=1.5,
+                                      read_data_and_process=2.5),
+                    wall_seconds=0.01)
+        root.attach(Span("analyze"))
+        return Trace(root)
+
+    def test_round_trip_is_identity(self):
+        trace = self.make_trace()
+        text = trace.to_json()
+        again = Trace.from_json(text)
+        assert again.to_json() == text
+        assert again.root.sim == trace.root.sim
+
+    def test_document_layout(self):
+        doc = self.make_trace().to_dict()
+        validate_trace(doc)
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["version"] == TRACE_VERSION
+        assert set(doc) == {"schema", "version", "root"}
+        assert set(doc["root"]) == {"name", "attrs", "counters",
+                                    "sim_seconds", "wall_seconds",
+                                    "children"}
+        assert set(doc["root"]["sim_seconds"]) == {
+            "read_index_and_other", "read_data_and_process", "total"}
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.pop("schema"), "schema"),
+        (lambda d: d.__setitem__("version", 99), "version"),
+        (lambda d: d.__setitem__("extra", 1), "schema, version, root"),
+        (lambda d: d["root"].pop("counters"), "missing"),
+        (lambda d: d["root"].__setitem__("surprise", 1), "unknown"),
+        (lambda d: d["root"].__setitem__("name", ""), "name"),
+        (lambda d: d["root"]["counters"].__setitem__("bad", "text"),
+         "number"),
+        (lambda d: d["root"]["sim_seconds"].pop("total"), "sim_seconds"),
+        (lambda d: d["root"]["children"].append({"name": "x"}), "children"),
+    ])
+    def test_validate_rejects_malformed(self, mutate, message):
+        doc = self.make_trace().to_dict()
+        mutate(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_trace(doc)
+
+    def test_normalized_zeroes_wall_everywhere(self):
+        trace = self.make_trace()
+        trace.root.children[0].wall_seconds = 5.0
+        doc = trace.normalized()
+        assert doc["root"]["wall_seconds"] == 0.0
+        assert doc["root"]["children"][0]["wall_seconds"] == 0.0
+        validate_trace(doc)
+
+    def test_to_json_is_stable(self):
+        trace = self.make_trace()
+        assert trace.to_json() == trace.to_json()
+        # sorted keys: serialization does not depend on insertion order
+        shuffled = Span("query", sim=trace.root.sim,
+                        wall_seconds=trace.root.wall_seconds)
+        shuffled.counters["rows"] = 3
+        shuffled.attrs["table"] = "t"
+        shuffled.attach(Span("analyze"))
+        assert Trace(shuffled).to_json() == trace.to_json()
+
+
+# ------------------------------------------------------------ session traces
+class TestSessionTraces:
+    def test_query_trace_shape(self):
+        session = dgf_meter_session()
+        result = session.execute(MDRQ)
+        root = result.trace.root
+        assert root.name == "query"
+        assert root.attrs["table"] == "meterdata"
+        names = [child.name for child in root.children]
+        assert names[0] == "analyze"
+        assert names[1] == "plan_access"
+        assert "finalize" in names
+        plan = root.find("plan_access")
+        assert plan.attrs["handler"] == "dgf"
+        assert plan.attrs["inner_gfus"] >= 0
+        assert plan.attrs["boundary_gfus"] > 0
+        assert root.find("plan:dgf").attrs["selected"] is True
+        assert root.find("dgf.search_grid") is not None
+
+    def test_root_sim_reconciles_exactly(self):
+        session = dgf_meter_session()
+        for options in (None, SCAN):
+            result = session.execute(MDRQ, options)
+            root = result.trace.root
+            assert root.sim == result.stats.time
+            assert root.sim == root.children_sim_sum()
+
+    def test_mr_job_phases_reconcile_exactly(self):
+        session = dgf_meter_session()
+        result = session.execute(MDRQ, SCAN)
+        job = result.trace.root.find("mr_job")
+        assert job is not None
+        assert job.sim == job.children_sim_sum()
+        assert job.child("job_launch") is not None
+        assert job.child("map_phase") is not None
+
+    def test_task_spans_carry_io_counters(self):
+        session = dgf_meter_session()
+        result = session.execute(MDRQ, SCAN)
+        maps = result.trace.root.find("map_phase").children
+        assert maps, "expected per-task map spans"
+        assert all(span.name == "map" for span in maps)
+        read = sum(span.counters.get("hdfs.bytes_read", 0) for span in maps)
+        assert read == result.stats.bytes_read
+
+    def test_kv_ops_counted_under_planning(self):
+        session = dgf_meter_session()
+        result = session.execute(MDRQ)
+        plan = result.trace.root.find("plan:dgf")
+        assert plan.total_counter("kv.gets") > 0
+
+    def test_trace_validates_and_round_trips(self):
+        session = dgf_meter_session()
+        trace = session.execute(MDRQ).trace
+        doc = json.loads(trace.to_json())
+        validate_trace(doc)
+        assert Trace.from_json(trace.to_json()).to_json() == trace.to_json()
+
+    def test_normalized_trace_identical_across_workers(self):
+        baseline = None
+        for workers in (1, 8):
+            session = dgf_meter_session(
+                execution=ExecutionConfig(max_workers=workers))
+            normalized = session.execute(MDRQ, SCAN).trace.normalized_json()
+            if baseline is None:
+                baseline = normalized
+            else:
+                assert normalized == baseline
+
+    def test_disabled_tracer_gives_no_trace_and_same_answer(self):
+        traced = dgf_meter_session()
+        untraced = dgf_meter_session()
+        untraced.tracer.enabled = False
+        with_trace = traced.execute(MDRQ)
+        without = untraced.execute(MDRQ)
+        assert without.trace is None
+        assert without.rows == with_trace.rows
+        assert without.stats.time == with_trace.stats.time
+
+
+# ------------------------------------------------------------ EXPLAIN ANALYZE
+class TestExplainAnalyze:
+    def test_plain_explain_shows_plan_details(self):
+        session = dgf_meter_session()
+        result = session.execute("EXPLAIN " + MDRQ)
+        text = result.description
+        assert "handler: dgf" in text
+        assert "gfus: inner=" in text
+        assert "splits kept:" in text and "pruned" in text
+        # planning-only: the query did not run
+        assert session.engine.jobs_run == 1  # only the index build job
+
+    def test_explain_analyze_executes_and_renders_tree(self):
+        session = dgf_meter_session()
+        jobs_before = session.engine.jobs_run
+        result = session.execute("EXPLAIN ANALYZE " + MDRQ)
+        assert session.engine.jobs_run > jobs_before
+        lines = [row[0] for row in result.rows]
+        assert any(line.startswith("query ") for line in lines)
+        assert any("plan_access" in line for line in lines)
+        assert result.trace is not None
+        assert result.stats.time == result.trace.root.sim
+
+    def test_explain_analyze_reports_gfu_counts(self):
+        session = dgf_meter_session()
+        result = session.execute("EXPLAIN ANALYZE " + MDRQ)
+        plan = result.trace.root.find("plan_access")
+        text = result.description
+        assert f"inner_gfus={plan.attrs['inner_gfus']}" in text
+        assert f"boundary_gfus={plan.attrs['boundary_gfus']}" in text
+
+
+# ------------------------------------------------------------------ overhead
+def _timed_queries(enabled: bool) -> float:
+    session = dgf_meter_session()
+    session.tracer.enabled = enabled
+    best = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(4):
+            session.execute(MDRQ, SCAN)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_tracing_overhead():
+    """Tracing must stay cheap in sequential mode.
+
+    The acceptance budget is ~5%; to keep CI deterministic this regression
+    test asserts a generous 40% ceiling on best-of-three timings — an
+    accidental per-record or per-byte span would blow past it by orders of
+    magnitude, which is the failure mode being guarded.
+    """
+    with_tracing = _timed_queries(True)
+    without = _timed_queries(False)
+    assert with_tracing <= without * 1.4 + 0.05
