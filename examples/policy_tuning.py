@@ -11,29 +11,30 @@ automatically.
 Run:  python examples/policy_tuning.py
 """
 
-from repro import HiveSession, PolicyAdvisor, QueryOptions
+import repro
+from repro import PolicyAdvisor, QueryOptions
 from repro.data.meter import METER_SCHEMA, MeterDataConfig, MeterDataGenerator
 from repro.hiveql.parser import parse_expression
 from repro.hiveql.predicates import extract_ranges
 
 
-def new_session(rows, config):
-    session = HiveSession(data_scale=config.data_scale)
-    session.fs.block_size = 128 * 1024
+def new_connection(rows, config):
+    conn = repro.connect(data_scale=config.data_scale)
+    conn.session.fs.block_size = 128 * 1024
     columns = ", ".join(f"{c.name} {c.dtype.value}"
                         for c in METER_SCHEMA.columns)
-    session.execute(f"CREATE TABLE meterdata ({columns})")
-    session.load_rows("meterdata", rows)
-    return session
+    conn.execute(f"CREATE TABLE meterdata ({columns})")
+    conn.load_rows("meterdata", rows)
+    return conn
 
 
-def build_dgf(session, config, user_interval, name="dgf_idx"):
-    session.execute(
+def build_dgf(conn, config, user_interval, name="dgf_idx"):
+    conn.execute(
         f"CREATE INDEX {name} ON TABLE meterdata(userid, regionid, ts) "
         f"AS 'dgf' IDXPROPERTIES ('userid'='0_{user_interval}', "
         f"'regionid'='0_1', 'ts'='{config.start_date}_1d', "
         "'precompute'='sum(powerconsumed),count(*)')")
-    return session.build_report("meterdata", name)
+    return conn.session.build_report("meterdata", name)
 
 
 def main():
@@ -49,10 +50,10 @@ def main():
     print(f"{'interval':>9} {'GFUs':>7} {'index bytes':>12} "
           f"{'records read':>13} {'simulated s':>12}")
     for interval in (250, 100, 40, 10, 4):
-        session = new_session(rows, config)
-        report = build_dgf(session, config, interval)
-        result = session.execute(query,
-                                 QueryOptions(index_name="dgf_idx"))
+        conn = new_connection(rows, config)
+        report = build_dgf(conn, config, interval)
+        result = conn.execute(
+            query, options=QueryOptions(index_name="dgf_idx"))
         print(f"{interval:>9} {report.details['gfus']:>7} "
               f"{report.index_size_bytes:>12} "
               f"{result.stats.records_read:>13} "
@@ -74,14 +75,14 @@ def main():
     properties = PolicyAdvisor.properties_for(policy)
     print(f"  advisor chose: {properties}")
 
-    session = new_session(rows, config)
+    conn = new_connection(rows, config)
     props_sql = ", ".join(f"'{k}'='{v}'" for k, v in properties.items())
-    session.execute(
+    conn.execute(
         "CREATE INDEX dgf_adv ON TABLE meterdata(userid, regionid, ts) "
         f"AS 'dgf' IDXPROPERTIES ({props_sql}, "
         "'precompute'='sum(powerconsumed),count(*)')")
-    advised = session.execute(query, QueryOptions(index_name="dgf_adv"))
-    baseline = session.execute(query, QueryOptions(use_index=False))
+    advised = conn.execute(query, options=QueryOptions(index_name="dgf_adv"))
+    baseline = conn.execute(query, options=QueryOptions(use_index=False))
     assert abs(advised.rows[0][0] - baseline.rows[0][0]) < 1e-6
     print(f"  advised policy: read {advised.stats.records_read} records, "
           f"{advised.stats.simulated_seconds:.1f}s simulated "

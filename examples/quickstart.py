@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: build a DGFIndex and run a multidimensional range query.
 
-Walks through the paper's core loop on a small synthetic meter table:
+Walks through the paper's core loop on a small synthetic meter table,
+through the stable public API (``repro.connect()``, see docs/api.md):
 
-1. create a Hive table and load time-ordered meter data,
+1. connect and load time-ordered meter data,
 2. run an MDRQ with a plain table scan,
 3. build a 3-dimensional DGFIndex with pre-computed aggregates,
 4. rerun the query — same answer, a fraction of the data read —
-   and inspect how the index decomposed the query region.
+   and inspect how the index decomposed the query region,
+5. rerun it warm: the GFU-metadata cache answers the planner's
+   KV reads, so no physical store traffic remains.
 
 Run:  python examples/quickstart.py
 """
@@ -15,7 +18,7 @@ Run:  python examples/quickstart.py
 import datetime
 import random
 
-from repro import HiveSession, QueryOptions
+import repro
 
 
 def generate_rows(num_users=500, num_days=14, seed=7):
@@ -33,45 +36,49 @@ def generate_rows(num_users=500, num_days=14, seed=7):
 def main():
     # data_scale maps our 7k generated records to a paper-scale table so
     # simulated times are in familiar cluster territory.
-    session = HiveSession(data_scale=100_000)
-    session.fs.block_size = 64 * 1024  # small blocks -> several splits
+    conn = repro.connect(data_scale=100_000)
+    conn.session.fs.block_size = 64 * 1024  # small blocks -> several splits
 
-    print("== 1. create and load the table")
-    session.execute(
+    print("== 1. connect, create and load the table")
+    conn.execute(
         "CREATE TABLE meterdata (userid bigint, regionid int, "
         "ts date, powerconsumed double)")
-    session.load_rows("meterdata", generate_rows())
-    print(f"loaded {session.table_row_count('meterdata')} records\n")
+    conn.load_rows("meterdata", generate_rows())
+    print(f"loaded {conn.session.table_row_count('meterdata')} records\n")
 
+    # qmark parameters bind client-side (repro.paramstyle == 'qmark')
     query = ("SELECT sum(powerconsumed), count(*) FROM meterdata "
-             "WHERE userid >= 100 AND userid < 300 "
-             "AND regionid >= 2 AND regionid <= 8 "
-             "AND ts >= '2013-01-03' AND ts < '2013-01-10'")
+             "WHERE userid >= ? AND userid < ? "
+             "AND regionid >= ? AND regionid <= ? "
+             "AND ts >= ? AND ts < ?")
+    params = (100, 300, 2, 8, "2013-01-03", "2013-01-10")
 
     print("== 2. full table scan")
-    scan = session.execute(query, QueryOptions(use_index=False))
+    scan = conn.execute(query, params,
+                        options=repro.QueryOptions(use_index=False))
     print(f"answer: sum={scan.rows[0][0]:.2f} count={scan.rows[0][1]}")
     print(f"records read: {scan.stats.records_read}")
     print(f"simulated cluster time: "
           f"{scan.stats.simulated_seconds:.1f}s\n")
 
     print("== 3. build the DGFIndex (Listing 3 syntax)")
-    built = session.execute(
+    built = conn.execute(
         "CREATE INDEX dgf_idx ON TABLE meterdata(userid, regionid, ts) "
         "AS 'org.apache.hadoop.hive.ql.index.dgf.DgfIndexHandler' "
         "IDXPROPERTIES ('userid'='0_50', 'regionid'='0_1', "
         "'ts'='2013-01-01_1d', "
         "'precompute'='sum(powerconsumed),count(*)')")
     print(f"index built: {built.rows[0]}")
-    report = session.build_report("meterdata", "dgf_idx")
+    report = conn.session.build_report("meterdata", "dgf_idx")
     print(f"grid-file units: {report.details['gfus']}, "
           f"index size: {report.index_size_bytes} bytes\n")
 
     print("== 4. the same query through the index (transparent)")
-    indexed = session.execute(query)
+    cur = conn.cursor().execute(query, params)
+    indexed = cur.result
     print(f"answer: sum={indexed.rows[0][0]:.2f} "
           f"count={indexed.rows[0][1]}")
-    print(f"plan: {indexed.stats.index_used}")
+    print(f"plan: {cur.plan.index_handler} mode={cur.plan.index_mode}")
     print(f"records read: {indexed.stats.records_read} "
           f"(vs {scan.stats.records_read} for the scan)")
     print(f"key-value gets: {indexed.stats.index_kv_gets}")
@@ -83,9 +90,21 @@ def main():
     assert indexed.rows[0][1] == scan.rows[0][1]
 
     print("== 5. EXPLAIN shows the chosen access path")
-    plan = session.execute("EXPLAIN " + query)
-    for (line,) in plan.rows:
+    for line in conn.explain(repro.api.bind_parameters(
+            query, params)).render().splitlines():
         print("   ", line)
+    print()
+
+    print("== 6. warm repeat: the GFU-metadata cache at work")
+    physical_before = conn.session.kvstore.stats.gets
+    warm = conn.execute(query, params)
+    print(f"physical KV gets this run: "
+          f"{conn.session.kvstore.stats.gets - physical_before} "
+          f"(logical: {warm.stats.index_kv_gets})")
+    print(f"cache hit rate so far: "
+          f"{conn.cache.stats.hit_rate:.0%}")
+    assert warm.rows == indexed.rows
+    conn.close()
 
 
 if __name__ == "__main__":

@@ -14,21 +14,22 @@ no physical time order — and answers Q6 three ways:
 Run:  python examples/tpch_q6.py
 """
 
-from repro import HiveSession, QueryOptions
+import repro
+from repro import QueryOptions
 from repro.data.tpch import (LINEITEM_SCHEMA, LineitemGenerator,
                              TPCHConfig, q6_parameters, q6_sql)
 
 SCAN = QueryOptions(use_index=False)
 
 
-def load_lineitem(session, rows, stored_as):
+def load_lineitem(conn, rows, stored_as):
     columns = ", ".join(f"{c.name} {c.dtype.value}"
                         for c in LINEITEM_SCHEMA.columns)
-    session.execute(f"CREATE TABLE lineitem ({columns}) "
-                    f"STORED AS {stored_as}")
+    conn.execute(f"CREATE TABLE lineitem ({columns}) "
+                 f"STORED AS {stored_as}")
     third = len(rows) // 3 + 1
     for i in range(0, len(rows), third):
-        session.load_rows("lineitem", rows[i:i + third])
+        conn.load_rows("lineitem", rows[i:i + third])
 
 
 def report(label, result):
@@ -48,35 +49,35 @@ def main():
           f"4.1B)\nQ6: {sql}\n")
 
     print("== ScanTable baseline (TextFile)")
-    scan_session = HiveSession(data_scale=data_scale)
-    scan_session.fs.block_size = 512 * 1024
-    load_lineitem(scan_session, rows, "TEXTFILE")
-    scan = scan_session.execute(sql, SCAN)
+    scan_conn = repro.connect(data_scale=data_scale)
+    scan_conn.session.fs.block_size = 512 * 1024
+    load_lineitem(scan_conn, rows, "TEXTFILE")
+    scan = scan_conn.execute(sql, options=SCAN)
     report("ScanTable", scan)
 
     print("\n== Compact Index (RCFile base, 2-D)")
-    compact_session = HiveSession(data_scale=data_scale)
-    compact_session.fs.block_size = 512 * 1024
-    load_lineitem(compact_session, rows, "RCFILE")
-    compact_session.execute(
+    compact_conn = repro.connect(data_scale=data_scale)
+    compact_conn.session.fs.block_size = 512 * 1024
+    load_lineitem(compact_conn, rows, "RCFILE")
+    compact_conn.execute(
         "CREATE INDEX cmp2 ON TABLE lineitem"
         "(l_discount, l_quantity) AS 'compact'")
-    compact = compact_session.execute(sql, QueryOptions(index_name="cmp2"))
+    compact = compact_conn.execute(sql, options=QueryOptions(index_name="cmp2"))
     report("Compact-2D", compact)
     print("  -> still read every record: evenly scattered values defeat "
           "split-level filtering (paper Table 6)")
 
     print("\n== DGFIndex (the paper's splitting policy)")
-    dgf_session = HiveSession(data_scale=data_scale)
-    dgf_session.fs.block_size = 512 * 1024
-    load_lineitem(dgf_session, rows, "TEXTFILE")
-    dgf_session.execute(
+    dgf_conn = repro.connect(data_scale=data_scale)
+    dgf_conn.session.fs.block_size = 512 * 1024
+    load_lineitem(dgf_conn, rows, "TEXTFILE")
+    dgf_conn.execute(
         "CREATE INDEX dgf_q6 ON TABLE lineitem"
         "(l_discount, l_quantity, l_shipdate) AS 'dgf' "
         "IDXPROPERTIES ('l_discount'='0_0.01', 'l_quantity'='0_1.0', "
         "'l_shipdate'='1992-01-01_100d', "
         "'precompute'='sum(l_extendedprice * l_discount)')")
-    dgf = dgf_session.execute(sql, QueryOptions(index_name="dgf_q6"))
+    dgf = dgf_conn.execute(sql, options=QueryOptions(index_name="dgf_q6"))
     report("DGFIndex", dgf)
 
     assert abs(dgf.rows[0][0] - scan.rows[0][0]) < 1e-6

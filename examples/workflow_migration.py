@@ -16,7 +16,8 @@ ETL, all fired by a coordinator.  This example reproduces that shape:
 Run:  python examples/workflow_migration.py
 """
 
-from repro import HiveSession, append_with_dgf
+import repro
+from repro import append_with_dgf
 from repro.data.meter import (METER_SCHEMA, USER_INFO_SCHEMA,
                               MeterDataConfig, MeterDataGenerator)
 from repro.workflow import Coordinator, Workflow
@@ -34,15 +35,16 @@ def main():
     config = MeterDataConfig(num_users=600, num_days=7,
                              readings_per_day=2)
     generator = MeterDataGenerator(config)
-    session = HiveSession(data_scale=config.data_scale)
+    conn = repro.connect(data_scale=config.data_scale)
+    session = conn.session  # the workflow engine drives the session
     session.fs.block_size = 128 * 1024
 
     # Bootstrap: day 0 data + the DGFIndex (later days append, no rebuild).
-    session.execute(ddl("meterdata", METER_SCHEMA))
-    session.execute(ddl("userinfo", USER_INFO_SCHEMA))
-    session.load_rows("meterdata", generator.rows_for_days(0, 1))
-    session.load_rows("userinfo", generator.user_info_rows())
-    session.execute(
+    conn.execute(ddl("meterdata", METER_SCHEMA))
+    conn.execute(ddl("userinfo", USER_INFO_SCHEMA))
+    conn.load_rows("meterdata", generator.rows_for_days(0, 1))
+    conn.load_rows("userinfo", generator.user_info_rows())
+    conn.execute(
         "CREATE INDEX dgf_idx ON TABLE meterdata(userid, regionid, ts) "
         "AS 'dgf' IDXPROPERTIES ('userid'='0_30', 'regionid'='0_1', "
         f"'ts'='{config.start_date}_1d', "

@@ -2,23 +2,24 @@
 with a Cost-Effective Multidimensional Range Index* (Liu et al., VLDB 2014)
 on a simulated Hadoop/Hive/HBase stack.
 
-Quick start::
+Quick start (the stable public API — see ``docs/api.md``)::
 
-    from repro import HiveSession
+    import repro
 
-    session = HiveSession()
-    session.execute("CREATE TABLE meterdata (userid bigint, regionid int, "
-                    "ts date, powerconsumed double)")
-    session.load_rows("meterdata", rows)
-    session.execute("CREATE INDEX dgf_idx ON TABLE meterdata"
-                    "(userid, regionid, ts) AS 'dgf' IDXPROPERTIES ("
-                    "'userid'='0_200', 'regionid'='0_1', "
-                    "'ts'='2012-12-01_1d', "
-                    "'precompute'='sum(powerconsumed),count(*)')")
-    result = session.execute(
+    conn = repro.connect()
+    conn.execute("CREATE TABLE meterdata (userid bigint, regionid int, "
+                 "ts date, powerconsumed double)")
+    conn.load_rows("meterdata", rows)
+    conn.execute("CREATE INDEX dgf_idx ON TABLE meterdata"
+                 "(userid, regionid, ts) AS 'dgf' IDXPROPERTIES ("
+                 "'userid'='0_200', 'regionid'='0_1', "
+                 "'ts'='2012-12-01_1d', "
+                 "'precompute'='sum(powerconsumed),count(*)')")
+    result = conn.execute(
         "SELECT sum(powerconsumed) FROM meterdata "
-        "WHERE userid >= 100 AND userid < 500 "
-        "AND ts >= '2012-12-05' AND ts < '2012-12-10'")
+        "WHERE userid >= ? AND userid < ? "
+        "AND ts >= ? AND ts < ?",
+        (100, 500, "2012-12-05", "2012-12-10"))
     print(result.rows, result.stats.records_read,
           result.stats.simulated_seconds)
 
@@ -26,28 +27,65 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-vs-measured record of every table and figure.
 """
 
-from repro.hive.session import HiveSession, QueryOptions, QueryResult
+import warnings
+
+from repro.api import (Connection, Cursor, apilevel, connect, paramstyle,
+                       threadsafety)
+from repro.hive.plan import Plan
+from repro.hive.session import QueryOptions, QueryResult
 from repro.core.dgf import (DgfIndexHandler, DimensionPolicy, PolicyAdvisor,
                             SplittingPolicy, add_precompute,
                             append_with_dgf)
-from repro.mapreduce.cluster import PAPER_CLUSTER, ClusterConfig
+from repro.mapreduce.cluster import (PAPER_CLUSTER, ClusterConfig,
+                                     ExecutionConfig)
 from repro.mapreduce.cost import CostModel, TimeBreakdown
+from repro.service import GfuMetadataCache, QueryService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "HiveSession",
+    # stable public connection API
+    "connect",
+    "Connection",
+    "Cursor",
+    "apilevel",
+    "paramstyle",
+    "threadsafety",
+    "Plan",
     "QueryOptions",
     "QueryResult",
+    # serving layer
+    "QueryService",
+    "GfuMetadataCache",
+    # deprecated alias (import path kept; see __getattr__)
+    "HiveSession",
+    # index machinery
     "DgfIndexHandler",
     "DimensionPolicy",
     "SplittingPolicy",
     "PolicyAdvisor",
     "add_precompute",
     "append_with_dgf",
+    # cluster / cost model
     "ClusterConfig",
+    "ExecutionConfig",
     "PAPER_CLUSTER",
     "CostModel",
     "TimeBreakdown",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # Deprecation shim: ``from repro import HiveSession`` keeps working but
+    # steers callers to the stable facade.  The class itself is unchanged
+    # and importable directly from repro.hive.session without a warning.
+    if name == "HiveSession":
+        warnings.warn(
+            "importing HiveSession from the top-level 'repro' package is "
+            "deprecated; use repro.connect() (see docs/api.md) or import "
+            "it from repro.hive.session",
+            DeprecationWarning, stacklevel=2)
+        from repro.hive.session import HiveSession
+        return HiveSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

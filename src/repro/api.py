@@ -1,0 +1,368 @@
+"""The stable public connection API: ``repro.connect() -> Connection``.
+
+A thin DB-API-2.0-flavoured facade over :class:`repro.hive.session
+.HiveSession` and :class:`repro.service.queryservice.QueryService`,
+so applications depend on a small, stable surface instead of the
+session's internals:
+
+    >>> import repro
+    >>> conn = repro.connect()
+    >>> cur = conn.cursor()
+    >>> _ = cur.execute("CREATE TABLE t (a bigint, b double)")
+    >>> conn.load_rows("t", [(1, 2.0), (2, 3.0)])
+    2
+    >>> cur.execute("SELECT sum(b) FROM t WHERE a >= ?", (1,)).fetchall()
+    [(5.0,)]
+
+Deviations from PEP 249, all forced by the underlying model, are explicit:
+there is no transaction concept (``commit()`` is a no-op, there is no
+``rollback()``), parameters use the ``qmark`` style with client-side
+binding (the HiveQL dialect has no server-side placeholders), and
+``Cursor.execute`` returns the cursor to allow chaining.
+
+Concurrency goes through :attr:`Connection.service` — a
+:class:`~repro.service.queryservice.QueryService` with a bounded admission
+queue — while single-statement calls stay on the caller's thread.
+"""
+
+from __future__ import annotations
+
+from typing import (Any, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
+
+from repro.errors import ExecutionError, InterfaceError, ReproError
+from repro.hdfs.filesystem import HDFS
+from repro.hive.plan import Plan
+from repro.hive.session import HiveSession, QueryOptions, QueryResult
+from repro.kvstore.hbase import KVStore
+from repro.mapreduce.cluster import (PAPER_CLUSTER, ClusterConfig,
+                                     ExecutionConfig)
+from repro.service.cache import GfuMetadataCache
+from repro.service.queryservice import DEFAULT_QUEUE_DEPTH, QueryService
+
+#: PEP 249 module globals.
+apilevel = "2.0"
+#: threads may share the module and connections (the session serializes
+#: shared state; concurrent statements go through ``Connection.service``).
+threadsafety = 2
+#: ``?`` placeholders, bound client-side.
+paramstyle = "qmark"
+
+#: PEP 249 exception aliases (all repro errors derive from ReproError).
+Error = ReproError
+
+__all__ = [
+    "apilevel", "threadsafety", "paramstyle",
+    "connect", "Connection", "Cursor",
+    "Error", "InterfaceError",
+    "Plan", "QueryOptions", "QueryResult",
+]
+
+
+def connect(*, data_scale: float = 1.0,
+            num_datanodes: int = 4,
+            cluster: ClusterConfig = PAPER_CLUSTER,
+            execution: Optional[ExecutionConfig] = None,
+            cache: Union[bool, GfuMetadataCache] = True,
+            max_workers: int = 1,
+            queue_depth: int = DEFAULT_QUEUE_DEPTH,
+            fs: Optional[HDFS] = None,
+            kvstore: Optional[KVStore] = None) -> "Connection":
+    """Open a connection to a fresh (or supplied) simulated warehouse.
+
+    ``cache`` controls the GFU-metadata cache (True = a fresh default
+    cache, False = disabled, or pass a shared instance).  ``max_workers``
+    sizes the connection's query service; 1 (the default) runs statements
+    on the calling thread and only starts service workers when
+    :attr:`Connection.service` is first used.
+    """
+    session = HiveSession(fs=fs, kvstore=kvstore, cluster=cluster,
+                          data_scale=data_scale,
+                          num_datanodes=num_datanodes,
+                          execution=execution, cache=cache)
+    return Connection(session, max_workers=max_workers,
+                      queue_depth=queue_depth)
+
+
+# ------------------------------------------------------------ param binding
+def _render_param(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        raise InterfaceError("HiveQL dialect has no boolean literals; "
+                             "bind 0/1 instead")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        if "'" in value or '"' in value:
+            # The dialect's lexer has no quote escaping; reject rather
+            # than silently produce a different statement.
+            raise InterfaceError(
+                f"string parameter {value!r} contains a quote, which the "
+                "HiveQL dialect cannot escape")
+        return f"'{value}'"
+    raise InterfaceError(
+        f"cannot bind parameter of type {type(value).__name__}; "
+        "supported: None, int, float, str")
+
+
+def bind_parameters(operation: str, parameters: Sequence[Any]) -> str:
+    """Substitute ``?`` placeholders (qmark style) outside string literals."""
+    out: List[str] = []
+    params = list(parameters)
+    index = 0
+    in_string: Optional[str] = None
+    for ch in operation:
+        if in_string is not None:
+            out.append(ch)
+            if ch == in_string:
+                in_string = None
+        elif ch in ("'", '"'):
+            out.append(ch)
+            in_string = ch
+        elif ch == "?":
+            if index >= len(params):
+                raise InterfaceError(
+                    f"statement has more placeholders than the "
+                    f"{len(params)} parameter(s) supplied")
+            out.append(_render_param(params[index]))
+            index += 1
+        else:
+            out.append(ch)
+    if index != len(params):
+        raise InterfaceError(
+            f"statement has {index} placeholder(s) but "
+            f"{len(params)} parameter(s) were supplied")
+    return "".join(out)
+
+
+class Cursor:
+    """PEP 249 style cursor over one connection.
+
+    ``description`` entries are 7-tuples with only ``name`` populated —
+    the dialect does not expose per-column result types.
+    """
+
+    arraysize = 1
+
+    def __init__(self, connection: "Connection"):
+        self._connection = connection
+        self._closed = False
+        self._rows: List[Tuple] = []
+        self._pos = 0
+        #: the full :class:`QueryResult` of the last execute (stats, trace,
+        #: plan) — the escape hatch past the DB-API surface.
+        self.result: Optional[QueryResult] = None
+        self.description: Optional[List[Tuple]] = None
+        self.rowcount = -1
+
+    # -------------------------------------------------------------- helpers
+    def _check_open(self) -> None:
+        if self._closed or self._connection.closed:
+            raise InterfaceError("cursor is closed")
+
+    def _install(self, result: QueryResult) -> None:
+        self.result = result
+        self._rows = list(result.rows)
+        self._pos = 0
+        self.description = [(name, None, None, None, None, None, None)
+                            for name in result.columns]
+        self.rowcount = len(self._rows)
+
+    @property
+    def plan(self) -> Optional[Plan]:
+        """Structured plan of the last executed statement (if any)."""
+        return self.result.plan if self.result is not None else None
+
+    @property
+    def connection(self) -> "Connection":
+        return self._connection
+
+    # -------------------------------------------------------------- execute
+    def execute(self, operation: str,
+                parameters: Optional[Sequence[Any]] = None,
+                options: Optional[QueryOptions] = None) -> "Cursor":
+        """Run one statement; returns this cursor (chainable)."""
+        self._check_open()
+        sql = operation if parameters is None \
+            else bind_parameters(operation, parameters)
+        self._install(self._connection._execute(sql, options))
+        return self
+
+    def executemany(self, operation: str,
+                    seq_of_parameters: Iterable[Sequence[Any]]) -> "Cursor":
+        """Run ``operation`` once per parameter set, in order.
+
+        ``rowcount`` accumulates across the sets; fetches see the last
+        statement's rows.
+        """
+        self._check_open()
+        total = 0
+        ran = False
+        for parameters in seq_of_parameters:
+            self.execute(operation, parameters)
+            total += max(self.rowcount, 0)
+            ran = True
+        if ran:
+            self.rowcount = total
+        return self
+
+    # --------------------------------------------------------------- fetch
+    def fetchone(self) -> Optional[Tuple]:
+        self._check_open()
+        if self._pos >= len(self._rows):
+            return None
+        row = self._rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> List[Tuple]:
+        self._check_open()
+        if size is None:
+            size = self.arraysize
+        rows = self._rows[self._pos:self._pos + size]
+        self._pos += len(rows)
+        return rows
+
+    def fetchall(self) -> List[Tuple]:
+        self._check_open()
+        rows = self._rows[self._pos:]
+        self._pos = len(self._rows)
+        return rows
+
+    def __iter__(self) -> Iterator[Tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def scalar(self) -> Any:
+        """Single value of a one-row/one-column result (convenience)."""
+        self._check_open()
+        if self.result is None:
+            raise InterfaceError("no statement has been executed")
+        return self.result.scalar()
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._closed = True
+        self._rows = []
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class Connection:
+    """One client's handle on a warehouse: cursors, direct execution,
+    bulk loading and (for fan-out) a bounded concurrent query service."""
+
+    def __init__(self, session: HiveSession, max_workers: int = 1,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH):
+        if max_workers < 1:
+            raise InterfaceError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self._session = session
+        self._max_workers = max_workers
+        self._queue_depth = queue_depth
+        self._service: Optional[QueryService] = None
+        self._closed = False
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def session(self) -> HiveSession:
+        """The underlying session (the stable escape hatch)."""
+        return self._session
+
+    @property
+    def metrics(self):
+        """The session's :class:`~repro.obs.metrics.MetricsRegistry`."""
+        return self._session.metrics
+
+    @property
+    def cache(self) -> Optional[GfuMetadataCache]:
+        """The session's GFU-metadata cache (None when disabled)."""
+        return self._session.metadata_cache
+
+    @property
+    def service(self) -> QueryService:
+        """The connection's query service (started on first use)."""
+        self._check_open()
+        if self._service is None:
+            self._service = QueryService(self._session,
+                                         max_workers=self._max_workers,
+                                         queue_depth=self._queue_depth)
+        return self._service
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    def _execute(self, sql: str,
+                 options: Optional[QueryOptions] = None) -> QueryResult:
+        self._check_open()
+        if self._service is not None or self._max_workers > 1:
+            return self.service.execute(sql, options)
+        return self._session.execute(sql, options)
+
+    # -------------------------------------------------------------- surface
+    def cursor(self) -> Cursor:
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str,
+                parameters: Optional[Sequence[Any]] = None,
+                options: Optional[QueryOptions] = None) -> QueryResult:
+        """Run one statement and return its full :class:`QueryResult`."""
+        if parameters is not None:
+            sql = bind_parameters(sql, parameters)
+        return self._execute(sql, options)
+
+    def executemany(self, sql: str,
+                    seq_of_parameters: Iterable[Sequence[Any]]
+                    ) -> List[QueryResult]:
+        """Run ``sql`` once per parameter set; results in input order."""
+        return [self.execute(sql, parameters)
+                for parameters in seq_of_parameters]
+
+    def explain(self, sql: str, analyze: bool = False) -> Plan:
+        """Structured :class:`Plan` for ``sql`` (executed when analyze)."""
+        prefix = "EXPLAIN ANALYZE " if analyze else "EXPLAIN "
+        result = self._execute(prefix + sql)
+        if result.plan is None:
+            raise ExecutionError(f"statement produced no plan: {sql!r}")
+        return result.plan
+
+    def load_rows(self, table: str, rows: Iterable[Sequence[Any]],
+                  file_label: Optional[str] = None) -> int:
+        """Bulk-append rows (the HDFS load path; no SQL INSERT exists)."""
+        self._check_open()
+        return self._session.load_rows(table, rows, file_label=file_label)
+
+    def commit(self) -> None:
+        """No-op: the warehouse has no transactions (PEP 249 compliance)."""
+        self._check_open()
+
+    # ----------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -39,6 +39,7 @@ from repro.hive.aggregates import (AggFunction, AvgAgg, CountAgg, MaxAgg,
 from repro.hive.indexhandler import (BuildReport, IndexAccessPlan,
                                      IndexHandler, QueryIndexContext)
 from repro.hive.metastore import IndexInfo, TableInfo
+from repro.mapreduce.cost import KVStats
 
 
 def merge_function_for(key: str) -> AggFunction:
@@ -72,7 +73,7 @@ class DgfIndexHandler(IndexHandler):
     # ------------------------------------------------------------------ query
     def plan_access(self, session, table: TableInfo, index: IndexInfo,
                     ctx: QueryIndexContext) -> Optional[IndexAccessPlan]:
-        store = DgfStore(session.kvstore, table.name, index.name)
+        store = session.dgf_store(table.name, index.name)
         policy = store.load_policy()
         bounds = store.load_bounds()
 
@@ -90,7 +91,6 @@ class DgfIndexHandler(IndexHandler):
         agg_path = self._aggregation_path_applies(ctx, policy, precomputed)
         tracer = session.tracer
 
-        kv_before = session.kvstore.snapshot_stats()
         with tracer.span("dgf.search_grid") as search_span:
             search = search_grid(policy, intervals, bounds,
                                  force_all_boundary=not agg_path)
@@ -129,8 +129,14 @@ class DgfIndexHandler(IndexHandler):
                                                     slices)
             split_span.add("splits_kept", len(splits))
             split_span.add("splits_total", total_splits)
-        kv_delta = session.kvstore.stats_delta(kv_before)
-        index_time = session.cost_model.kv_seconds(kv_delta)
+        # Logical index-access cost: one get per GFU probed by Algorithm 3
+        # (present or not).  A deterministic function of the grid search —
+        # not a physical-op delta — so the simulated time is identical
+        # whether the metadata came from the KV store or the GFU cache,
+        # and concurrent queries cannot pollute each other's accounting.
+        probes = len(search.inner_keys) + len(search.boundary_keys)
+        kv_logical = KVStats(gets=probes)
+        index_time = session.cost_model.kv_seconds(kv_logical)
 
         mode = "agg-headers" if agg_path else "slices"
         return IndexAccessPlan(
@@ -146,7 +152,7 @@ class DgfIndexHandler(IndexHandler):
             inner_gfus=inner_hits,
             boundary_gfus=boundary_hits,
             total_splits=total_splits,
-            index_kv_gets=kv_delta.gets)
+            index_kv_gets=probes)
 
     # ----------------------------------------------------------------- pieces
     def _aggregation_path_applies(self, ctx: QueryIndexContext, policy,

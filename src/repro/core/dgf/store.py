@@ -5,11 +5,21 @@ tables) can share one store, exactly like HBase tables sharing a cluster:
 
 * ``dgf:<table>:<index>:<gfukey>``      -> GFUValue
 * ``dgfmeta:<table>:<index>:<name>``    -> metadata (policy, bounds, ...)
+
+A store may carry a :class:`repro.service.cache.GfuMetadataCache`; when it
+does, the read paths the query planner hits (``multi_get``, ``get_meta``
+and everything built on it) are answered from the cache where possible and
+back-filled with one batched physical ``multi_get`` per lookup.  Cache hits
+replay their *logical* get count onto the active trace span
+(:meth:`~repro.kvstore.hbase.KVStore.note_cached_gets`), so per-query
+accounting is independent of cache state; only the store's physical
+``stats`` change.  Write paths always go straight to the store — the cache
+stays coherent through the store's write listeners.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.dgf.gfu import GFUValue, SliceLocation
 from repro.core.dgf.policy import SplittingPolicy
@@ -17,14 +27,46 @@ from repro.errors import DGFError
 from repro.kvstore.hbase import KVStore
 from repro.mapreduce.engine import estimate_size
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.cache import GfuMetadataCache
+
 
 class DgfStore:
     """Typed access to one index's slice of the key-value store."""
 
-    def __init__(self, kvstore: KVStore, table: str, index: str):
+    def __init__(self, kvstore: KVStore, table: str, index: str,
+                 cache: Optional["GfuMetadataCache"] = None):
         self.kvstore = kvstore
+        self.cache = cache
         self._prefix = f"dgf:{table.lower()}:{index.lower()}:"
         self._meta_prefix = f"dgfmeta:{table.lower()}:{index.lower()}:"
+
+    # ------------------------------------------------------------ cache path
+    def _cached_fetch(self, full_keys: List[str]) -> Dict[str, Any]:
+        """Fetch ``full_keys``, serving from the cache when possible.
+
+        Returns only present keys.  The logical get count (one per probed
+        key, hit or miss, found or not) is replayed onto the active trace
+        span; physical reads for the misses happen inside a detached
+        ``cache.fill`` span so the query's span tree is cache-agnostic.
+        """
+        cache = self.cache
+        if cache is None:
+            return self.kvstore.multi_get(full_keys)
+        from repro.service.cache import MISSING
+        hits, missing = cache.lookup(full_keys)
+        self.kvstore.note_cached_gets(len(full_keys))
+        fetched: Dict[str, Any] = {}
+        if missing:
+            with cache.fill_scope(self.kvstore.tracer, len(missing)):
+                fetched = self.kvstore.multi_get(missing)
+            cache.fill(missing, fetched)
+        # Preserve probe order exactly as KVStore.multi_get does: header
+        # aggregation folds floats in result-iteration order, so a
+        # hits-then-misses dict would change sums on mixed lookups.
+        return {key: value for key in full_keys
+                if (value := hits.get(key, fetched.get(key))) is not None
+                and value is not MISSING}
 
     # ------------------------------------------------------------ GFU values
     def gfu_key(self, cell_key: str) -> str:
@@ -38,12 +80,10 @@ class DgfStore:
 
     def multi_get(self, cell_keys) -> Dict[str, GFUValue]:
         """Batch get; returns only the cells that exist, by bare cell key."""
-        out: Dict[str, GFUValue] = {}
-        for cell_key in cell_keys:
-            value = self.kvstore.get(self.gfu_key(cell_key))
-            if value is not None:
-                out[cell_key] = value
-        return out
+        full_keys = [self.gfu_key(cell_key) for cell_key in cell_keys]
+        found = self._cached_fetch(full_keys)
+        return {key[len(self._prefix):]: value
+                for key, value in found.items()}
 
     def merge_value(self, cell_key: str, value: GFUValue,
                     merge_fns: Dict[str, Any]) -> None:
@@ -75,11 +115,11 @@ class DgfStore:
         self.kvstore.put(self._meta_prefix + name, value)
 
     def get_meta(self, name: str) -> Any:
-        value = self.kvstore.get(self._meta_prefix + name)
-        if value is None:
+        found = self._cached_fetch([self._meta_prefix + name])
+        if not found:
             raise DGFError(f"missing DGFIndex metadata {name!r}; "
                            "was the index built?")
-        return value
+        return found[self._meta_prefix + name]
 
     def _meta_names(self) -> Iterator[str]:
         stop = self._meta_prefix + "\U0010ffff"

@@ -82,6 +82,22 @@ class DGFError(IndexError_):
     """DGFIndex-specific errors (bad splitting policy, missing metadata)."""
 
 
+class ServiceError(ReproError):
+    """Errors from the concurrent query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded admission queue is full."""
+
+
+class ServiceClosedError(ServiceError):
+    """A statement was submitted to a closed query service."""
+
+
+class InterfaceError(ReproError):
+    """Misuse of the DB-API style connection layer (``repro.connect``)."""
+
+
 class HadoopDBError(ReproError):
     """Errors from the HadoopDB baseline engine."""
 

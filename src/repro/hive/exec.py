@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, SemanticError
+from repro.hdfs.metrics import task_io_scope
 from repro.hive import formats
 from repro.hive.aggregates import CompiledAggregate
 from repro.hive.metastore import TableInfo
@@ -405,15 +406,18 @@ def load_join_hash_tables(fs, analysis: AnalyzedSelect) -> JobStats:
     for step in analysis.joins:
         if step.hash_table is not None:
             continue
-        before = fs.io.snapshot()
-        table: Dict[Any, List[Tuple]] = {}
-        count = 0
-        for row in formats.scan_table_rows(fs, step.table):
-            count += 1
-            table.setdefault(step.build_key_fn(row), []).append(row)
-        step.hash_table = table
-        delta = fs.io.delta(before)
+        # Per-thread I/O scope (not a global snapshot/delta): the measured
+        # bytes are exactly this build's reads even when other statements
+        # run concurrently under the query service.
+        with task_io_scope() as scope:
+            table: Dict[Any, List[Tuple]] = {}
+            count = 0
+            for row in formats.scan_table_rows(fs, step.table):
+                count += 1
+                table.setdefault(step.build_key_fn(row), []).append(row)
+            step.hash_table = table
+            captured = scope.captured(fs.io)
         step.build_stats = JobStats(map_tasks=1, map_input_records=count,
-                                    map_input_bytes=delta.bytes_read)
+                                    map_input_bytes=captured.bytes_read)
         total.merge(step.build_stats)
     return total

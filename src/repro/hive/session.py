@@ -22,10 +22,11 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ExecutionError, MetastoreError, SemanticError
 from repro.hdfs.filesystem import HDFS
+from repro.hdfs.metrics import task_io_scope
 from repro.hive import exec as hexec
 from repro.hive import formats
 from repro.hive.aggregates import canonical_key
@@ -33,6 +34,7 @@ from repro.hive.indexhandler import (BuildReport, IndexAccessPlan,
                                      IndexHandler, QueryIndexContext,
                                      resolve_handler_name)
 from repro.hive.metastore import (IndexInfo, Metastore, TableInfo, parse_type)
+from repro.hive.plan import Plan
 from repro.hiveql import ast, parse
 from repro.hiveql.predicates import extract_ranges
 from repro.kvstore.hbase import KVStore
@@ -43,6 +45,7 @@ from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.splits import FileSplit
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Trace, Tracer
+from repro.service.cache import GfuMetadataCache
 from repro.storage.schema import Column, Schema
 from repro.storage.textfile import serialize_row
 
@@ -89,6 +92,9 @@ class QueryResult:
     #: the query's span tree (populated for SELECTs); ``trace.to_json()``
     #: emits the versioned document described in docs/observability.md.
     trace: Optional[Trace] = None
+    #: structured plan (populated for SELECT/EXPLAIN); ``description`` is
+    #: exactly ``plan.render()`` — inspect fields instead of parsing text.
+    plan: Optional[Plan] = None
 
     def scalar(self) -> Any:
         """The single value of a one-row/one-column result."""
@@ -106,7 +112,8 @@ class HiveSession:
                  cluster: ClusterConfig = PAPER_CLUSTER,
                  data_scale: float = 1.0,
                  num_datanodes: int = 4,
-                 execution: Optional[ExecutionConfig] = None):
+                 execution: Optional[ExecutionConfig] = None,
+                 cache: Union[None, bool, GfuMetadataCache] = None):
         self.fs = fs if fs is not None else HDFS(num_datanodes=num_datanodes)
         self.kvstore = kvstore if kvstore is not None else KVStore()
         self.cluster = cluster
@@ -126,6 +133,20 @@ class HiveSession:
         self.kvstore.tracer = self.tracer
         self.engine = MapReduceEngine(self.fs, execution=self.execution,
                                       tracer=self.tracer)
+        # GFU-metadata cache in front of the KV store: on by default
+        # (``cache=False`` disables it, an instance injects a shared one).
+        # Kept coherent by the store's write listeners plus the explicit
+        # namespace invalidations on append/rebuild/drop below; per-query
+        # results and traces are byte-identical with or without it.
+        if cache is False:
+            self.metadata_cache: Optional[GfuMetadataCache] = None
+        elif cache is None or cache is True:
+            self.metadata_cache = GfuMetadataCache(metrics=self.metrics)
+        else:
+            self.metadata_cache = cache
+            cache.bind_metrics(self.metrics)
+        if self.metadata_cache is not None:
+            self.kvstore.add_write_listener(self.metadata_cache.on_write)
         self._handlers: Dict[str, IndexHandler] = {}
         self._load_counters: Dict[str, int] = {}
         self._register_default_handlers()
@@ -153,6 +174,21 @@ class HiveSession:
             return self._handlers[name]
         except KeyError:
             raise SemanticError(f"no index handler registered as {name!r}")
+
+    def dgf_store(self, table: str, index: str):
+        """A :class:`~repro.core.dgf.store.DgfStore` for ``(table, index)``
+        wired to this session's GFU-metadata cache (planner read path)."""
+        from repro.core.dgf.store import DgfStore
+        return DgfStore(self.kvstore, table, index,
+                        cache=self.metadata_cache)
+
+    def _invalidate_table_cache(self, table: str) -> None:
+        if self.metadata_cache is not None:
+            self.metadata_cache.invalidate_table(table)
+
+    def _invalidate_index_cache(self, table: str, index: str) -> None:
+        if self.metadata_cache is not None:
+            self.metadata_cache.invalidate_index(table, index)
 
     # ------------------------------------------------------------------- DDL
     def execute(self, sql: str,
@@ -217,6 +253,7 @@ class HiveSession:
             return QueryResult(columns=["result"], rows=[("SKIPPED",)])
         for index in self.metastore.indexes_on(stmt.name):
             self.handler(index.handler).drop(self, index)
+        self._invalidate_table_cache(stmt.name)
         info = self.metastore.drop_table(stmt.name)
         if self.fs.exists(info.location):
             self.fs.delete(info.location, recursive=True)
@@ -247,11 +284,17 @@ class HiveSession:
     def _drop_index(self, stmt: ast.DropIndexStmt) -> QueryResult:
         info = self.metastore.drop_index(stmt.table, stmt.name)
         self.handler(info.handler).drop(self, info)
+        # Strict invalidation: the drop's deletes already evicted every
+        # *positive* cache entry via the write listeners; dropping the
+        # whole namespace also clears negative entries so a later index
+        # of the same name starts from a cold cache.
+        self._invalidate_index_cache(stmt.table, stmt.name)
         return QueryResult(columns=["result"], rows=[("OK",)])
 
     def rebuild_index(self, table: str, name: str) -> BuildReport:
         """ALTER INDEX ... REBUILD equivalent (also used after appends)."""
         info = self.metastore.get_index(table, name)
+        self._invalidate_index_cache(table, name)
         report = self.handler(info.handler).build(self, info)
         info.state["build_report"] = report
         return report
@@ -273,6 +316,10 @@ class HiveSession:
         appends go through :meth:`append_with_dgf` instead).
         """
         table = self.metastore.get_table(table_name)
+        # Appended rows make any cached index metadata for this table
+        # suspect (e.g. headers a subsequent append_with_dgf will merge
+        # into); drop the whole namespace up front.
+        self._invalidate_table_cache(table.name)
         count = self._load_counters.get(table.name.lower(), 0)
         self._load_counters[table.name.lower()] = count + 1
         label = file_label or f"{count:06d}_0"
@@ -309,6 +356,8 @@ class HiveSession:
             result = self._execute_select(stmt, options, root)
         if self.tracer.enabled:
             result.trace = Trace(root)
+            if result.plan is not None:
+                result.plan.trace = result.trace
         return result
 
     def _execute_select(self, stmt: ast.SelectStmt, options: QueryOptions,
@@ -445,9 +494,11 @@ class HiveSession:
         root.add("output_records", stats.output_records)
         root.add("splits_processed", stats.splits_processed)
         self._record_query_metrics(shape, plan, stats)
+        query_plan = self._make_plan(analysis, plan, len(splits))
         return QueryResult(columns=list(analysis.output_names), rows=rows,
                            stats=stats,
-                           description=self._describe(analysis, plan, splits))
+                           description=query_plan.render(),
+                           plan=query_plan)
 
     def _annotate_job_span(self, result) -> TimeBreakdown:
         """Attach the cost model's per-phase seconds to the engine's spans.
@@ -605,46 +656,29 @@ class HiveSession:
         if self.fs.exists(directory):
             self.fs.delete(directory, recursive=True)
         path = f"{directory}/000000_0"
-        before = self.fs.io.snapshot()
-        with self.fs.create(path) as writer:
-            for row in rows:
-                line = "|".join("" if v is None else str(v) for v in row)
-                writer.write(line.encode("utf-8") + b"\n")
-        written = self.fs.io.delta(before).bytes_written
+        # Measure this thread's own writes via a nested I/O scope (instead
+        # of a global snapshot/delta) so concurrent statements running
+        # under the query service cannot pollute the measurement.
+        with task_io_scope() as scope:
+            with self.fs.create(path) as writer:
+                for row in rows:
+                    line = "|".join("" if v is None else str(v)
+                                    for v in row)
+                    writer.write(line.encode("utf-8") + b"\n")
+            written = scope.captured(self.fs.io).bytes_written
         extra = JobStats(output_bytes=written)
         return self.cost_model.job_seconds(extra, include_launch=False)
 
-    def _describe(self, analysis: hexec.AnalyzedSelect,
-                  plan: Optional[IndexAccessPlan],
-                  splits: List[FileSplit]) -> str:
-        lines = [f"table: {analysis.table.name} "
-                 f"({analysis.table.stored_as})"]
-        if analysis.joins:
-            lines.append("join: broadcast hash join x"
-                         f"{len(analysis.joins)}")
-        if plan is not None:
-            lines.append(f"index: {plan.description}")
-            lines.append(f"  handler: {plan.handler}"
-                         + (f" mode={plan.mode}" if plan.mode else ""))
-            if plan.inner_gfus or plan.boundary_gfus:
-                lines.append(f"  gfus: inner={plan.inner_gfus} "
-                             f"boundary={plan.boundary_gfus}")
-            if plan.total_splits is not None:
-                pruned = plan.total_splits - len(plan.splits)
-                lines.append(f"  splits kept: {len(plan.splits)} of "
-                             f"{plan.total_splits} ({pruned} pruned)")
-            if plan.rewrite_grouped is not None:
-                lines.append("  rewrite: answered from index "
-                             "(main job skipped)")
-            elif plan.header_states is not None:
-                lines.append("  headers: inner region answered from "
-                             "pre-computed aggregates")
-        else:
-            lines.append("index: none (full scan)")
-        lines.append(f"splits: {len(splits)}")
+    def _make_plan(self, analysis: hexec.AnalyzedSelect,
+                   access: Optional[IndexAccessPlan],
+                   num_splits: int) -> Plan:
         shape = "group/aggregate" if analysis.is_group_query else "projection"
-        lines.append(f"shape: {shape}")
-        return "\n".join(lines)
+        return Plan(table=analysis.table.name,
+                    stored_as=analysis.table.stored_as,
+                    shape=shape,
+                    joins=len(analysis.joins),
+                    splits=num_splits,
+                    access=access)
 
     def _explain(self, stmt: ast.SelectStmt, options: QueryOptions,
                  analyze: bool = False) -> QueryResult:
@@ -652,21 +686,23 @@ class HiveSession:
             # EXPLAIN ANALYZE: execute the query, then render the span tree
             # (the plan-only lines first, for context).
             result = self._run_select(stmt, options)
-            text = result.description
-            if result.trace is not None:
-                text = text + "\n" + result.trace.render()
+            text = (result.plan.render_analyze()
+                    if result.plan is not None else result.description)
             return QueryResult(columns=["plan"],
                                rows=[(line,) for line in text.split("\n")],
                                stats=result.stats,
                                description=text,
-                               trace=result.trace)
+                               trace=result.trace,
+                               plan=result.plan)
         analysis = hexec.analyze(self.metastore, stmt)
-        plan = self._plan_access(analysis, options)
-        splits, _fmt = self._resolve_splits(analysis, plan)
-        text = self._describe(analysis, plan, splits)
+        access = self._plan_access(analysis, options)
+        splits, _fmt = self._resolve_splits(analysis, access)
+        query_plan = self._make_plan(analysis, access, len(splits))
+        text = query_plan.render()
         return QueryResult(columns=["plan"],
                            rows=[(line,) for line in text.split("\n")],
-                           description=text)
+                           description=text,
+                           plan=query_plan)
 
     # -------------------------------------------------------------- counting
     def table_row_count(self, table_name: str) -> int:

@@ -15,12 +15,14 @@ from __future__ import annotations
 import bisect
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import KVStoreError
 from repro.mapreduce.cost import KVStats
 
 DEFAULT_MAX_REGION_KEYS = 100_000
+#: rows a scan materializes per lock acquisition.
+DEFAULT_SCAN_BATCH = 256
 
 
 @dataclass
@@ -41,8 +43,20 @@ class KVStore:
     Point operations (get/put/contains/delete) are serialized by a lock so
     the parallel MapReduce engine's reduce tasks — which put GFU entries
     concurrently during a DGFIndex build — never corrupt the region lists
-    or race on the op counters.  ``scan`` is a generator and is *not*
-    locked; it is only used by the single-threaded planner/metadata paths.
+    or race on the op counters.  ``multi_get`` and ``scan`` take the lock
+    once per *batch* rather than per key, so a scan observes a consistent
+    region layout for each batch even while concurrent puts split regions
+    between batches.
+
+    ``stats`` counts **physical** operations only.  Layers that answer
+    reads from a cache call :meth:`note_cached_gets` instead, which replays
+    the per-query ``kv.gets`` trace counter (the *logical* accounting that
+    the cost model and the differential harness consume) without touching
+    ``stats`` — see :mod:`repro.service.cache`.
+
+    Write listeners (:meth:`add_write_listener`) observe every ``put`` and
+    ``delete`` by key, *after* the store's lock has been released, so a
+    listener may take its own locks without creating an ordering cycle.
     """
 
     def __init__(self, max_region_keys: int = DEFAULT_MAX_REGION_KEYS):
@@ -55,11 +69,32 @@ class KVStore:
         #: lands as a ``kv.*`` counter on the calling thread's active span.
         self.tracer = None
         self._lock = threading.RLock()
+        self._write_listeners: List[Callable[[str], None]] = []
 
     def _trace_op(self, name: str, amount: int = 1) -> None:
         tracer = self.tracer
         if tracer is not None:
             tracer.add(name, amount)
+
+    # ----------------------------------------------------------- listeners
+    def add_write_listener(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(key)`` after every put/delete (cache coherence)."""
+        self._write_listeners.append(listener)
+
+    def _notify_write(self, key: str) -> None:
+        for listener in self._write_listeners:
+            listener(key)
+
+    def note_cached_gets(self, amount: int) -> None:
+        """Replay ``amount`` logical gets answered by a cache layer.
+
+        Feeds the calling thread's active trace span only — never
+        ``stats`` — so per-query accounting (and therefore simulated
+        times) is identical whether a read was physical or cached, while
+        ``stats`` keeps measuring real store traffic.
+        """
+        if amount:
+            self._trace_op("kv.gets", amount)
 
     # --------------------------------------------------------------- regions
     @property
@@ -94,6 +129,7 @@ class KVStore:
             self.stats.puts += 1
             self._maybe_split(region)
         self._trace_op("kv.puts")
+        self._notify_write(key)
 
     def put_all(self, items: Dict[str, Any]) -> None:
         for key, value in items.items():
@@ -106,12 +142,22 @@ class KVStore:
             return self._region_for(key).values.get(key)
 
     def multi_get(self, keys) -> Dict[str, Any]:
-        """Batch get; missing keys are omitted from the result."""
+        """Batch get; missing keys are omitted from the result.
+
+        One lock acquisition covers the whole batch; every probed key
+        (present or not) counts as one get, exactly as the per-key loop
+        it replaces did.
+        """
+        keys = list(keys)
         out: Dict[str, Any] = {}
-        for key in keys:
-            value = self.get(key)
-            if value is not None:
-                out[key] = value
+        with self._lock:
+            self.stats.gets += len(keys)
+            for key in keys:
+                value = self._region_for(key).values.get(key)
+                if value is not None:
+                    out[key] = value
+        if keys:
+            self._trace_op("kv.gets", len(keys))
         return out
 
     def delete(self, key: str) -> bool:
@@ -122,7 +168,8 @@ class KVStore:
             del region.values[key]
             idx = bisect.bisect_left(region.keys, key)
             del region.keys[idx]
-            return True
+        self._notify_write(key)
+        return True
 
     def contains(self, key: str) -> bool:
         self._trace_op("kv.gets")
@@ -130,19 +177,46 @@ class KVStore:
             self.stats.gets += 1
             return key in self._region_for(key).values
 
-    def scan(self, start_key: str = "", stop_key: Optional[str] = None
+    def scan(self, start_key: str = "", stop_key: Optional[str] = None,
+             batch_size: int = DEFAULT_SCAN_BATCH
              ) -> Iterator[Tuple[str, Any]]:
-        """Yield ``(key, value)`` for start_key <= key < stop_key, in order."""
-        for region in self._regions:
-            if stop_key is not None and region.start_key >= stop_key:
-                break
-            lo = bisect.bisect_left(region.keys, start_key)
-            for key in region.keys[lo:]:
-                if stop_key is not None and key >= stop_key:
-                    return
-                self.stats.rows_scanned += 1
-                self._trace_op("kv.rows_scanned")
-                yield key, region.values[key]
+        """Yield ``(key, value)`` for start_key <= key < stop_key, in order.
+
+        Rows are fetched in batches of ``batch_size``, each under one lock
+        acquisition, and the scan resumes *by key* after every batch.  A
+        region split between batches therefore cannot skip or duplicate
+        rows (the resume key is independent of region boundaries), and
+        within a batch the layout is consistent.  ``rows_scanned`` is
+        counted per fetched batch, so abandoning a scan mid-batch may
+        count up to one batch of unconsumed rows.
+        """
+        if batch_size < 1:
+            raise KVStoreError(f"batch_size must be >= 1, got {batch_size}")
+        next_key = start_key
+        while True:
+            batch: List[Tuple[str, Any]] = []
+            with self._lock:
+                for region in self._regions:
+                    if stop_key is not None and region.start_key >= stop_key:
+                        break
+                    lo = bisect.bisect_left(region.keys, next_key)
+                    for key in region.keys[lo:]:
+                        if stop_key is not None and key >= stop_key:
+                            break
+                        batch.append((key, region.values[key]))
+                        if len(batch) >= batch_size:
+                            break
+                    if len(batch) >= batch_size:
+                        break
+                self.stats.rows_scanned += len(batch)
+            if batch:
+                self._trace_op("kv.rows_scanned", len(batch))
+            yield from batch
+            if len(batch) < batch_size:
+                return
+            # Resume strictly after the last yielded key; "\x00" is the
+            # smallest possible key suffix.
+            next_key = batch[-1][0] + "\x00"
 
     def count(self) -> int:
         return sum(len(r) for r in self._regions)

@@ -15,6 +15,7 @@ cost model's slot/wave arithmetic over the measured counters.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -98,6 +99,9 @@ class MapReduceEngine:
         self.execution = execution if execution is not None else SEQUENTIAL
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.jobs_run = 0
+        # Concurrent queries (the query service) may call run() from many
+        # threads at once; the counter increment must not lose updates.
+        self._jobs_run_lock = threading.Lock()
 
     def run(self, job: Job) -> JobResult:
         job.validate()
@@ -107,7 +111,8 @@ class MapReduceEngine:
         with self.tracer.span("mr_job", job=job.name) as job_span:
             result = self._run(job, workers, job_span)
         result.trace_span = job_span if self.tracer.enabled else None
-        self.jobs_run += 1
+        with self._jobs_run_lock:
+            self.jobs_run += 1
         return result
 
     def _run(self, job: Job, workers: int, job_span: Span) -> JobResult:

@@ -1,0 +1,27 @@
+"""The serving layer: concurrent query admission + GFU-metadata caching.
+
+Two cooperating pieces sit between callers and one
+:class:`~repro.hive.session.HiveSession`:
+
+* :class:`~repro.service.queryservice.QueryService` — a bounded admission
+  queue drained by a worker pool, so many statements run at once with
+  byte-identical per-query results.
+* :class:`~repro.service.cache.GfuMetadataCache` — an LRU + size-bounded
+  cache of DGFIndex KV entries (GFU headers, slice locations, min/max
+  bounds) that eliminates repeated KV-store reads on warm queries while
+  replaying identical logical accounting.
+
+See ``docs/architecture.md`` ("The service and cache layers") and
+``docs/api.md`` for how they surface through ``repro.connect()``.
+"""
+
+from repro.service.cache import (CacheStats, GfuMetadataCache, MISSING)
+from repro.service.queryservice import (DEFAULT_QUEUE_DEPTH, QueryService)
+
+__all__ = [
+    "CacheStats",
+    "GfuMetadataCache",
+    "MISSING",
+    "DEFAULT_QUEUE_DEPTH",
+    "QueryService",
+]

@@ -1,0 +1,341 @@
+"""GFU-metadata cache: the serving layer's shield in front of the KV store.
+
+The paper makes repeated multidimensional range queries cheap by answering
+inner GFUs from pre-computed headers stored in HBase (Sec. 4.2-4.3), but
+every query still pays one round of KV-store reads for the same GFU
+headers, slice locations and min/max dimension-completion bounds
+(Sec. 4.3/4.4).  Under the concurrent query service
+(:mod:`repro.service.queryservice`), that metadata read is the hot path —
+HAIL's observation that once index access is cheap, metadata lookup
+dominates.  This cache absorbs it:
+
+* **What is cached.**  Whole KV entries, keyed by their full store key:
+  ``dgf:<table>:<index>:<gfukey>`` values (header + slice locations) and
+  ``dgfmeta:<table>:<index>:<name>`` metadata (splitting policy, min/max
+  bounds, pre-compute list).  *Negative* entries — GFU keys probed by
+  Algorithm 3 but absent from the store (empty grid cells) — are cached
+  too, which matters because most candidate keys of a query region are
+  empty.
+* **Bounds.**  LRU with both an entry count and a byte budget
+  (:func:`repro.mapreduce.engine.estimate_size`-based sizing, the same
+  estimator the paper-size accounting uses).
+* **Fill.**  Misses are fetched with one batched
+  :meth:`~repro.kvstore.hbase.KVStore.multi_get` per lookup (see
+  :meth:`repro.core.dgf.store.DgfStore.multi_get`), not per key.
+* **Invalidation.**  Strict and automatic: the owning session registers
+  :meth:`on_write` as a KV-store write listener, so *every* put/delete —
+  index builds, ``append_with_dgf`` header merges, ``DROP INDEX`` clears —
+  discards exactly the touched entries.  The session additionally drops
+  whole namespaces on ``load_rows`` (appends), ``rebuild_index`` and
+  ``DROP INDEX``/``DROP TABLE``.
+
+Accounting contract (what keeps results byte-identical cache on/off):
+query traces and simulated times always see the *logical* KV reads — a
+cache hit replays the ``kv.gets`` trace counter the physical read would
+have recorded (``KVStore.note_cached_gets``) — while ``KVStore.stats``
+counts only *physical* operations.  The warm/cold benchmark and the
+hit/miss metrics read the physical side; the differential harness
+fingerprints the logical side.  Fill activity is traced with *detached*
+``cache.fill`` spans (kept on a bounded ring, :meth:`recent_fills`) so the
+per-query span tree stays identical whether the cache is present or not.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.common.units import MiB
+from repro.mapreduce.engine import estimate_size
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+class _Missing:
+    """Sentinel cached for keys known to be absent from the KV store."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MISSING>"
+
+
+#: negative-cache marker; :meth:`GfuMetadataCache.lookup` returns it for
+#: keys the cache knows are absent (callers filter it out).
+MISSING = _Missing()
+
+DEFAULT_MAX_ENTRIES = 8192
+DEFAULT_MAX_BYTES = 4 * MiB
+#: how many recent ``cache.fill`` spans to retain for inspection.
+DEFAULT_FILL_SPANS = 32
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one cache instance (also mirrored to the
+    session's :class:`~repro.obs.metrics.MetricsRegistry` when given)."""
+
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"hits": self.hits, "misses": self.misses,
+                "fills": self.fills, "evictions": self.evictions,
+                "invalidations": self.invalidations,
+                "hit_rate": self.hit_rate}
+
+
+def _kind_of(key: str) -> str:
+    """Metric label: GFU entry vs index metadata."""
+    return "meta" if key.startswith("dgfmeta:") else "gfu"
+
+
+def _entry_size(key: str, value: Any) -> int:
+    """Byte estimate of one cache entry, GFUValue-aware."""
+    if value is MISSING:
+        payload = 8
+    elif hasattr(value, "header") and hasattr(value, "locations"):
+        # A GFUValue: size it like DgfStore.size_bytes does.
+        payload = estimate_size((
+            dict(value.header),
+            [(loc.file, loc.start, loc.end) for loc in value.locations],
+            getattr(value, "records", 0)))
+    else:
+        payload = estimate_size(value)
+    return len(key) + payload
+
+
+class GfuMetadataCache:
+    """LRU + size-bounded cache of DGFIndex KV entries.
+
+    Thread-safe: one lock guards the LRU structures; it is never held
+    while talking to the KV store (lookups release it before the batched
+    fill, write notifications acquire it after the store's own lock has
+    been released), so no lock ordering cycle exists.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_bytes: int = DEFAULT_MAX_BYTES,
+                 metrics: Optional[MetricsRegistry] = None,
+                 keep_fill_spans: int = DEFAULT_FILL_SPANS):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        #: key -> (value, size); insertion/access order = LRU order.
+        self._entries: "OrderedDict[str, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._fills: "deque[Span]" = deque(maxlen=max(1, keep_fill_spans))
+        self._metrics = metrics
+
+    # -------------------------------------------------------------- metrics
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Attach (or replace) the registry hit/miss counters feed into."""
+        self._metrics = metrics
+
+    def _record(self, kind: str, hits: int, misses: int) -> None:
+        self.stats.hits += hits
+        self.stats.misses += misses
+        metrics = self._metrics
+        if metrics is None:
+            return
+        if hits:
+            metrics.counter(
+                "gfu_cache_hits_total",
+                "GFU-metadata cache hits (KV reads avoided)").inc(
+                    hits, kind=kind)
+        if misses:
+            metrics.counter(
+                "gfu_cache_misses_total",
+                "GFU-metadata cache misses (KV reads issued)").inc(
+                    misses, kind=kind)
+
+    def _publish_gauges(self) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        metrics.gauge("gfu_cache_entries",
+                      "entries resident in the GFU-metadata cache").set(
+                          len(self._entries))
+        metrics.gauge("gfu_cache_bytes",
+                      "estimated bytes resident in the GFU-metadata "
+                      "cache").set(self._bytes)
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, keys: Iterable[str]
+               ) -> Tuple[Dict[str, Any], List[str]]:
+        """Probe the cache for ``keys``.
+
+        Returns ``(hits, missing)``: ``hits`` maps each cached key to its
+        value — :data:`MISSING` for negative entries — and ``missing``
+        lists the keys (in probe order) the caller must fetch and
+        :meth:`fill` back.
+        """
+        keys = list(keys)
+        hits: Dict[str, Any] = {}
+        missing: List[str] = []
+        kind = _kind_of(keys[0]) if keys else "gfu"
+        with self._lock:
+            for key in keys:
+                entry = self._entries.get(key)
+                if entry is None:
+                    missing.append(key)
+                else:
+                    self._entries.move_to_end(key)
+                    hits[key] = entry[0]
+            self._record(kind, len(hits), len(missing))
+        return hits, missing
+
+    def fill(self, probed: Iterable[str], fetched: Dict[str, Any]) -> None:
+        """Store the result of a batched fetch for every probed key.
+
+        Keys absent from ``fetched`` are remembered as negative entries so
+        repeated queries over sparse grid regions stop re-probing the
+        store.
+        """
+        with self._lock:
+            for key in probed:
+                self._store(key, fetched.get(key, MISSING))
+            self.stats.fills += 1
+            self._evict()
+            self._publish_gauges()
+
+    def _store(self, key: str, value: Any) -> None:
+        size = _entry_size(key, value)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._entries[key] = (value, size)
+        self._bytes += size
+
+    def _evict(self) -> None:
+        evicted = 0
+        while self._entries and (len(self._entries) > self.max_entries
+                                 or self._bytes > self.max_bytes):
+            _key, (_value, size) = self._entries.popitem(last=False)
+            self._bytes -= size
+            evicted += 1
+        if evicted:
+            self.stats.evictions += evicted
+            if self._metrics is not None:
+                self._metrics.counter(
+                    "gfu_cache_evictions_total",
+                    "GFU-metadata cache LRU evictions").inc(evicted)
+
+    # ---------------------------------------------------------- fill spans
+    @contextmanager
+    def fill_scope(self, tracer: Optional[Tracer],
+                   num_keys: int) -> Iterator[Span]:
+        """Trace one batched fill with a *detached* ``cache.fill`` span.
+
+        Detached (``Tracer.task_span``) so the physical KV reads of the
+        fill never land in the active query's span tree — the query trace
+        stays byte-identical with and without the cache.  Finished spans
+        are kept on a bounded ring for inspection.
+        """
+        if tracer is None or not tracer.enabled:
+            with nullcontext(None) as span:
+                yield span
+            return
+        with tracer.task_span("cache.fill", keys=num_keys) as span:
+            yield span
+        self._fills.append(span)
+
+    def recent_fills(self) -> List[Span]:
+        """The most recent ``cache.fill`` spans, oldest first."""
+        return list(self._fills)
+
+    # --------------------------------------------------------- invalidation
+    def on_write(self, key: str) -> None:
+        """KV-store write listener: discard the touched entry (if cached).
+
+        Covers every mutation path — builds, appends (header merges and
+        new GFU entries over previously-negative cells), metadata updates
+        and deletes — without the writers knowing the cache exists.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return
+            self._bytes -= entry[1]
+            self.stats.invalidations += 1
+            self._note_invalidations(1)
+            self._publish_gauges()
+
+    def invalidate_prefix(self, prefix: str) -> int:
+        """Drop every cached entry whose key starts with ``prefix``."""
+        with self._lock:
+            doomed = [k for k in self._entries if k.startswith(prefix)]
+            for key in doomed:
+                _value, size = self._entries.pop(key)
+                self._bytes -= size
+            if doomed:
+                self.stats.invalidations += len(doomed)
+                self._note_invalidations(len(doomed))
+                self._publish_gauges()
+        return len(doomed)
+
+    def invalidate_index(self, table: str, index: str) -> int:
+        """Full invalidation of one index's namespace (rebuild / drop)."""
+        ns = f"{table.lower()}:{index.lower()}:"
+        return (self.invalidate_prefix(f"dgf:{ns}")
+                + self.invalidate_prefix(f"dgfmeta:{ns}"))
+
+    def invalidate_table(self, table: str) -> int:
+        """Full invalidation of every index on ``table`` (append path)."""
+        t = table.lower()
+        return (self.invalidate_prefix(f"dgf:{t}:")
+                + self.invalidate_prefix(f"dgfmeta:{t}:"))
+
+    def _note_invalidations(self, count: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(
+                "gfu_cache_invalidations_total",
+                "GFU-metadata cache entries dropped by invalidation").inc(
+                    count)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self._publish_gauges()
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def size_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Stats plus residency, as plain JSON-able data."""
+        with self._lock:
+            data = self.stats.as_dict()
+            data["entries"] = len(self._entries)
+            data["bytes"] = self._bytes
+        return data

@@ -1,0 +1,206 @@
+"""QueryService: bounded admission + worker scheduling over one session.
+
+The ROADMAP's north star is a catalog serving heavy interactive traffic;
+the paper's DGFIndex makes each MDRQ cheap, and this layer lets many of
+them run at once.  A :class:`QueryService` owns a pool of worker threads
+(sized like PR 1's :class:`~repro.mapreduce.cluster.ExecutionConfig`) that
+drain a **bounded** admission queue of submitted statements:
+
+* ``submit()`` enqueues a statement and returns a
+  :class:`concurrent.futures.Future`; when the queue is full it either
+  raises :class:`~repro.errors.ServiceOverloadedError` (the default,
+  load-shedding behaviour) or blocks for a slot (``block=True``).
+* ``execute()`` / ``run_all()`` are the blocking conveniences.
+
+Determinism: each worker wraps its statement in
+:func:`repro.hdfs.metrics.task_io_scope`, so the session's shared
+``fs.io`` counters are updated once per statement under the merge lock
+instead of racing on the bare ``+=`` hot path, and the tracer's span
+stacks are already per-thread.  Every per-query observable — rows, stats,
+simulated seconds, normalized trace — is therefore byte-identical whether
+a statement ran alone or interleaved with others (the differential
+harness, ``tests/harness/differential.py``, asserts this at concurrency
+1/4/8 with the GFU cache on and off).
+
+Concurrency contract: SELECT / EXPLAIN statements may run concurrently
+without restriction.  DDL and data loading mutate the shared metastore
+and filesystem; submit those from one logical writer at a time (exactly
+HBase/Hive's own single-master metadata discipline).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence
+
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.hdfs.metrics import task_io_scope
+from repro.mapreduce.cluster import ExecutionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids import cycle
+    from repro.hive.session import HiveSession, QueryOptions, QueryResult
+
+DEFAULT_QUEUE_DEPTH = 64
+
+#: worker shutdown marker (cannot collide with a submitted item).
+_STOP = object()
+
+
+@dataclass
+class _Submission:
+    sql: Any
+    options: Optional["QueryOptions"]
+    future: Future
+    enqueued_at: float
+
+
+class QueryService:
+    """Admits statements into a bounded queue and runs them on workers.
+
+    One service serves one :class:`~repro.hive.session.HiveSession`; the
+    session's GFU-metadata cache (when enabled) is what makes the fan-out
+    cheap — after the first query warms it, concurrent MDRQs plan without
+    touching the KV store.
+    """
+
+    def __init__(self, session: "HiveSession",
+                 max_workers: Optional[int] = None,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 execution: Optional[ExecutionConfig] = None):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_workers is None:
+            config = execution if execution is not None else ExecutionConfig()
+            max_workers = config.worker_count()
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.session = session
+        self.max_workers = max_workers
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"query-service-{i}", daemon=True)
+            for i in range(max_workers)]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------ metrics
+    def _metrics(self):
+        return self.session.metrics
+
+    def _note_depth(self) -> None:
+        self._metrics().gauge(
+            "service_queue_depth",
+            "statements waiting in the admission queue").set(
+                self._queue.qsize())
+
+    # ----------------------------------------------------------- admission
+    def submit(self, sql: Any, options: Optional["QueryOptions"] = None,
+               block: bool = False) -> "Future[QueryResult]":
+        """Admit one statement; returns a Future for its QueryResult.
+
+        With ``block=False`` (default) a full queue sheds load by raising
+        :class:`ServiceOverloadedError`; ``block=True`` waits for a slot.
+        """
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+        item = _Submission(sql=sql, options=options, future=Future(),
+                           enqueued_at=time.perf_counter())
+        try:
+            self._queue.put(item, block=block)
+        except queue.Full:
+            self._metrics().counter(
+                "service_rejected_total",
+                "statements shed because the admission queue was "
+                "full").inc()
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.queue_depth} pending); "
+                "retry later or submit with block=True")
+        self._note_depth()
+        return item.future
+
+    def execute(self, sql: Any,
+                options: Optional["QueryOptions"] = None) -> "QueryResult":
+        """Blocking submit-and-wait (admission waits for a slot too)."""
+        return self.submit(sql, options, block=True).result()
+
+    def run_all(self, statements: Iterable[Any]) -> List["QueryResult"]:
+        """Submit many statements and return their results in input order.
+
+        Entries may be plain SQL strings or ``(sql, options)`` pairs.
+        Statements execute concurrently across the worker pool; the
+        returned list order matches the submission order regardless.
+        """
+        futures: List[Future] = []
+        for statement in statements:
+            if (isinstance(statement, tuple) and len(statement) == 2):
+                sql, options = statement
+            else:
+                sql, options = statement, None
+            futures.append(self.submit(sql, options, block=True))
+        return [future.result() for future in futures]
+
+    # -------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            self._note_depth()
+            wait = time.perf_counter() - item.enqueued_at
+            self._metrics().histogram(
+                "service_queue_wait_seconds",
+                "wall seconds a statement waited for a worker").observe(
+                    wait)
+            if not item.future.set_running_or_notify_cancel():
+                self._count("cancelled")
+                continue
+            try:
+                # One I/O scope per statement: this thread's fs.io updates
+                # buffer locally and merge once, so concurrent statements
+                # never race on the shared counters.
+                with task_io_scope():
+                    result = self.session.execute(item.sql, item.options)
+            except BaseException as exc:
+                self._count("error")
+                item.future.set_exception(exc)
+            else:
+                self._count("ok")
+                item.future.set_result(result)
+
+    def _count(self, status: str) -> None:
+        self._metrics().counter(
+            "service_queries_total",
+            "statements finished by the query service").inc(status=status)
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self, wait: bool = True) -> None:
+        """Stop admitting work; drain the queue, then stop the workers."""
+        with self._lock:
+            if self._closed:
+                workers: Sequence[threading.Thread] = ()
+            else:
+                self._closed = True
+                workers = self._workers
+                for _ in workers:
+                    self._queue.put(_STOP)
+        if wait:
+            for worker in workers:
+                worker.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -17,6 +17,16 @@ Two entry points, both asserting *byte-identical* results across
   see docs/observability.md), index-build reports, global filesystem I/O
   totals and key-value-store op counts.
 
+* :func:`assert_service_equivalent` — replays a workload's queries through
+  the concurrent :class:`~repro.service.queryservice.QueryService` at
+  several concurrency levels, with the GFU-metadata cache enabled and
+  disabled, against the direct cache-off session baseline (ISSUE 4
+  acceptance).  Physical KV-store op counts are excluded from *these*
+  comparisons — eliminating physical reads is the cache's whole point and
+  their count legitimately depends on admission interleaving — but every
+  per-query observable, including the *logical* ``kv.gets`` trace counters
+  and the simulated index time, must be byte-identical.
+
 Fingerprints are plain dicts compared with ``==``; on mismatch the harness
 reports exactly which entries diverged, which is what turns "the engines
 disagree" into a debuggable ordering bug.
@@ -25,15 +35,19 @@ disagree" into a debuggable ordering bug.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.hive.session import HiveSession, QueryOptions, QueryResult
 from repro.mapreduce.cluster import ExecutionConfig
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.job import Job, JobResult
+from repro.service.cache import GfuMetadataCache
+from repro.service.queryservice import QueryService
 
 #: worker counts every differential check covers (ISSUE 1 acceptance).
 WORKER_COUNTS = (1, 2, 4, 8)
+#: query-service concurrency levels every service check covers (ISSUE 4).
+SERVICE_CONCURRENCY = (1, 4, 8)
 
 
 # ---------------------------------------------------------------- fingerprints
@@ -69,6 +83,10 @@ def query_fingerprint(result: QueryResult) -> Dict[str, Any]:
         # counters and simulated times must not depend on worker count.
         "trace": (result.trace.normalized()
                   if result.trace is not None else None),
+        # The structured plan (scalar summary) — the same object EXPLAIN
+        # renders, so plan text and plan fields can never drift apart.
+        "plan": (result.plan.to_dict()
+                 if result.plan is not None else None),
     }
 
 
@@ -138,10 +156,11 @@ class Workload:
 
 
 def run_workload(workload: Workload,
-                 execution: Optional[ExecutionConfig] = None
+                 execution: Optional[ExecutionConfig] = None,
+                 cache: Union[None, bool, GfuMetadataCache] = None
                  ) -> Dict[str, Any]:
     """Build a fresh session, replay the workload, return its fingerprint."""
-    session = HiveSession(num_datanodes=4, execution=execution)
+    session = HiveSession(num_datanodes=4, execution=execution, cache=cache)
     session.fs.block_size = workload.block_size
     session.execute(workload.ddl)
     rows = list(workload.rows)
@@ -200,4 +219,80 @@ def assert_session_equivalent(
         candidate = run_workload(
             workload, ExecutionConfig(max_workers=workers))
         _assert_same(baseline, candidate, f"max_workers={workers}")
+    return baseline
+
+
+# --------------------------------------------------------------- service level
+def run_service_workload(workload: Workload, concurrency: int,
+                         cache: Union[None, bool, GfuMetadataCache] = None
+                         ) -> Dict[str, Any]:
+    """Like :func:`run_workload`, but the queries go through a
+    :class:`QueryService` with ``concurrency`` workers (submitted all at
+    once, so they genuinely interleave), and results are collected in
+    submission order."""
+    session = HiveSession(num_datanodes=4, cache=cache)
+    session.fs.block_size = workload.block_size
+    session.execute(workload.ddl)
+    rows = list(workload.rows)
+    if rows:
+        files = max(1, min(workload.load_files, len(rows)))
+        chunk = -(-len(rows) // files)
+        for start in range(0, len(rows), chunk):
+            session.load_rows(workload.table, rows[start:start + chunk])
+    for name, ddl, extra_rows in workload.extra_tables:
+        session.execute(ddl)
+        if extra_rows:
+            session.load_rows(name, list(extra_rows))
+
+    fingerprint: Dict[str, Any] = {}
+    if workload.index_sql:
+        session.execute(workload.index_sql)
+    if workload.append_rows:
+        from repro.core.dgf.builder import append_with_dgf
+        append_with_dgf(session, workload.table, workload.index_name,
+                        list(workload.append_rows))
+    with QueryService(session, max_workers=concurrency,
+                      queue_depth=max(len(workload.queries), 1)) as service:
+        results = service.run_all(workload.queries)
+    for position, result in enumerate(results):
+        fingerprint[f"query:{position}"] = query_fingerprint(result)
+    fingerprint["fs_io"] = asdict(session.fs.io)
+    fingerprint["jobs_run"] = session.engine.jobs_run
+    return fingerprint
+
+
+def _query_view(fingerprint: Dict[str, Any]) -> Dict[str, Any]:
+    """The cache/service-comparable projection of a fingerprint.
+
+    Drops physical KV op counts (the cache exists to change those) and the
+    index-build/append entries (the service path replays them but does not
+    re-fingerprint them; session-level equivalence covers those).
+    """
+    keep = {key: value for key, value in fingerprint.items()
+            if key.startswith("query:") or key in ("fs_io", "jobs_run")}
+    return keep
+
+
+def assert_service_equivalent(
+        workload: Workload,
+        concurrency_levels: Sequence[int] = SERVICE_CONCURRENCY
+        ) -> Dict[str, Any]:
+    """ISSUE 4 acceptance: byte-identical queries across cache on/off and
+    service concurrency levels.
+
+    Baseline: the plain sequential session with the cache disabled.
+    Candidates: the direct session with the cache enabled, then the query
+    service at each concurrency level, cache off and on.  Returns the
+    baseline fingerprint.
+    """
+    baseline = _query_view(run_workload(workload, cache=False))
+    cached = _query_view(run_workload(workload, cache=True))
+    _assert_same(baseline, cached, "cache=True (direct session)")
+    for cache_on in (False, True):
+        for concurrency in concurrency_levels:
+            candidate = _query_view(
+                run_service_workload(workload, concurrency, cache=cache_on))
+            _assert_same(
+                baseline, candidate,
+                f"service concurrency={concurrency} cache={cache_on}")
     return baseline

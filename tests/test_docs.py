@@ -55,3 +55,12 @@ def test_observability_doctests():
         module_relative=False, verbose=False)
     assert results.attempted > 20, "doctest examples went missing"
     assert results.failed == 0
+
+
+def test_api_doctests():
+    """Every ``>>>`` example in docs/api.md must run verbatim."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "api.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 25, "doctest examples went missing"
+    assert results.failed == 0

@@ -76,6 +76,58 @@ class TestScan:
         assert got == ["dgf:t:a", "dgf:t:b"]
 
 
+class TestBatchedScan:
+    def test_scan_resumes_across_batches(self):
+        kv = KVStore()
+        for i in range(30):
+            kv.put(f"k{i:03d}", i)
+        got = list(kv.scan(batch_size=7))
+        assert got == sorted((f"k{i:03d}", i) for i in range(30))
+
+    def test_invalid_batch_size_rejected(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        with pytest.raises(KVStoreError):
+            list(kv.scan(batch_size=0))
+
+    def test_scan_during_split_neither_skips_nor_duplicates(self):
+        """Regression: a region split between scan batches must not skip
+        or duplicate rows.  The scan resumes *by key*, so new region
+        boundaries (and keys inserted behind the cursor) are invisible."""
+        kv = KVStore(max_region_keys=8)
+        for i in range(0, 40, 2):  # even keys only
+            kv.put(f"{i:04d}", i)
+        seen = []
+        scan = kv.scan(batch_size=4)
+        for position, (key, value) in enumerate(scan):
+            seen.append((key, value))
+            if position == 5:
+                # grow the store mid-scan: odd keys force several splits
+                for i in range(1, 40, 2):
+                    kv.put(f"{i:04d}", i)
+                assert len(kv.regions) > 1
+        # every originally-present key exactly once, in order; keys
+        # inserted *ahead* of the cursor may legitimately appear too.
+        evens = [(f"{i:04d}", i) for i in range(0, 40, 2)]
+        assert [kv_pair for kv_pair in seen if kv_pair in evens] == evens
+        assert len(seen) == len(set(seen)), "duplicated rows"
+
+    def test_scan_during_split_sees_consistent_prefix(self):
+        """Keys behind the resume point never reappear even when the
+        region holding them splits."""
+        kv = KVStore(max_region_keys=4)
+        for i in range(20):
+            kv.put(f"{i:04d}", i)
+        scan = kv.scan(batch_size=3)
+        first_batch = [next(scan) for _ in range(3)]
+        for i in range(100, 140):  # splits beyond the cursor
+            kv.put(f"{i:04d}", i)
+        rest = list(scan)
+        keys = [k for k, _ in first_batch + rest]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+
 class TestRegions:
     def test_split_on_growth(self):
         kv = KVStore(max_region_keys=8)
@@ -122,6 +174,41 @@ class TestStats:
         delta = kv.stats_delta(before)
         assert delta.gets == 1
         assert delta.puts == 0
+
+    def test_multi_get_counts_every_probed_key(self):
+        kv = KVStore()
+        kv.put("a", 1)
+        kv.multi_get(["a", "b", "c"])
+        assert kv.stats.gets == 3
+
+    def test_note_cached_gets_is_logical_only(self):
+        """Cache hits replay the trace counter without physical ops."""
+        kv = KVStore()
+        before = kv.snapshot_stats()
+        kv.note_cached_gets(5)
+        assert kv.stats_delta(before).gets == 0
+
+
+class TestWriteListeners:
+    def test_listener_fires_on_put_and_delete(self):
+        kv = KVStore()
+        events = []
+        kv.add_write_listener(events.append)
+        kv.put("a", 1)
+        kv.put_all({"b": 2, "c": 3})
+        kv.delete("a")
+        kv.delete("missing")  # no-op deletes do not notify
+        assert events == ["a", "b", "c", "a"]
+
+    def test_listener_may_touch_the_store(self):
+        """Listeners run after the store lock is released, so re-entrant
+        reads (what the cache's invalidation bookkeeping could do) are
+        safe."""
+        kv = KVStore()
+        seen = []
+        kv.add_write_listener(lambda key: seen.append(kv.get(key)))
+        kv.put("a", 41)
+        assert seen == [41]
 
 
 @settings(max_examples=50, deadline=None)

@@ -1,0 +1,295 @@
+"""GFU-metadata cache behaviour: hits, eviction, strict invalidation.
+
+The accounting contract under test: ``KVStore.stats`` counts *physical*
+operations only (what the cache eliminates), while the per-query trace
+counters stay *logical* and byte-identical cache on/off (covered by
+``tests/test_service_differential.py``).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.core.dgf import append_with_dgf
+from repro.hive.session import HiveSession
+from repro.service import MISSING, GfuMetadataCache
+
+from tests.conftest import METER_DDL, make_session, meter_rows
+
+MDRQ = ("SELECT sum(powerconsumed) FROM meterdata "
+        "WHERE userid >= 20 AND userid < 120 "
+        "AND ts >= '2012-12-01' AND ts < '2012-12-05'")
+
+INDEX_SQL = ("CREATE INDEX dgf_idx ON TABLE meterdata"
+             "(userid, regionid, ts) AS 'dgf' IDXPROPERTIES "
+             "('userid'='0_25', 'regionid'='0_1', 'ts'='2012-12-01_2d', "
+             "'precompute'='sum(powerconsumed),count(*)')")
+
+
+def _physical_gets(session: HiveSession, sql: str = MDRQ) -> int:
+    """Physical KV get count of running ``sql`` once."""
+    before = session.kvstore.snapshot_stats()
+    session.execute(sql)
+    return session.kvstore.stats_delta(before).gets
+
+
+def _append_rows(num_users: int = 40):
+    start = datetime.date(2012, 12, 7)
+    return [(user, user % 5, start.isoformat(), 1.0)
+            for user in range(num_users)]
+
+
+# --------------------------------------------------------------- warm vs cold
+class TestWarmCold:
+    def test_warm_queries_issue_no_physical_kv_reads(self, dgf_session):
+        cold = _physical_gets(dgf_session)
+        assert cold > 0
+        warm = _physical_gets(dgf_session)
+        assert warm == 0
+        stats = dgf_session.metadata_cache.stats
+        assert stats.hits > 0
+        assert stats.hit_rate > 0.0
+
+    def test_cache_off_pays_physical_reads_every_time(self):
+        session = HiveSession(num_datanodes=4, cache=False)
+        session.fs.block_size = 64 * 1024
+        session.execute(METER_DDL)
+        rows = meter_rows()
+        session.load_rows("meterdata", rows[: len(rows) // 2])
+        session.load_rows("meterdata", rows[len(rows) // 2:])
+        session.execute(INDEX_SQL)
+        assert session.metadata_cache is None
+        first = _physical_gets(session)
+        second = _physical_gets(session)
+        assert first > 0
+        assert second == first
+
+    def test_logical_trace_identical_cold_and_warm(self, dgf_session):
+        cold = dgf_session.execute(MDRQ)
+        warm = dgf_session.execute(MDRQ)
+        assert warm.rows == cold.rows
+        assert (warm.trace.normalized_json()
+                == cold.trace.normalized_json())
+        assert warm.stats.index_kv_gets == cold.stats.index_kv_gets
+
+    def test_hit_and_miss_metrics_published(self, dgf_session):
+        dgf_session.execute(MDRQ)
+        dgf_session.execute(MDRQ)
+        metrics = dgf_session.metrics
+        assert metrics.counter("gfu_cache_misses_total").value(
+            kind="gfu") > 0
+        assert metrics.counter("gfu_cache_hits_total").value(
+            kind="gfu") > 0
+        assert metrics.gauge("gfu_cache_entries").value() == len(
+            dgf_session.metadata_cache)
+
+    def test_negative_entries_cached_for_empty_cells(self):
+        # Correlated dimensions guarantee empty grid cells: users < 100
+        # live in region 0, the rest in region 1, so (userid cell, region
+        # 1) combos below user 100 are probed by Algorithm 3 but absent.
+        session = HiveSession(num_datanodes=4)
+        session.execute(METER_DDL)
+        session.load_rows("meterdata",
+                          [(u, 0 if u < 100 else 1, "2012-12-01", 1.0)
+                           for u in range(200)])
+        session.execute(INDEX_SQL)
+        sparse = ("SELECT count(*) FROM meterdata "
+                  "WHERE userid >= 0 AND userid < 50 "
+                  "AND regionid >= 1 AND regionid < 2")
+        assert session.execute(sparse).scalar() == 0
+        cache = session.metadata_cache
+        negatives = [key for key in list(cache._entries)
+                     if cache._entries[key][0] is MISSING]
+        assert negatives, "expected at least one negative entry"
+        # re-running must not re-probe the store for those cells
+        assert _physical_gets(session, sparse) == 0
+
+
+# --------------------------------------------------------------- invalidation
+class TestInvalidation:
+    def test_append_invalidates_and_refetches_changed_headers(
+            self, dgf_session):
+        before_rows = dgf_session.execute(MDRQ).rows
+        assert _physical_gets(dgf_session) == 0  # warm
+        extra = _append_rows()
+        append_with_dgf(dgf_session, "meterdata", "dgf_idx", extra)
+        # the append's merge wrote through the KV store; the cache must
+        # re-fetch, not serve stale headers
+        refetch = _physical_gets(dgf_session)
+        assert refetch > 0
+        after = dgf_session.execute(MDRQ)
+        # 100 appended users fall in [20, 120) at 1.0 power each, but on
+        # 2012-12-07 — outside this query's ts range: sum unchanged.
+        assert after.rows == before_rows
+        wide = ("SELECT sum(powerconsumed) FROM meterdata "
+                "WHERE userid >= 20 AND userid < 40 "
+                "AND ts >= '2012-12-07' AND ts < '2012-12-08'")
+        assert dgf_session.execute(wide).scalar() == pytest.approx(20.0)
+
+    def test_append_result_matches_cache_off_session(self):
+        def build(cache):
+            session = HiveSession(num_datanodes=4, cache=cache)
+            session.fs.block_size = 64 * 1024
+            session.execute(METER_DDL)
+            rows = meter_rows()
+            session.load_rows("meterdata", rows[: len(rows) // 2])
+            session.load_rows("meterdata", rows[len(rows) // 2:])
+            session.execute(INDEX_SQL)
+            session.execute(MDRQ)  # warm (or not) before the append
+            append_with_dgf(session, "meterdata", "dgf_idx",
+                            _append_rows())
+            return session.execute(MDRQ)
+
+        cached, uncached = build(True), build(False)
+        assert cached.rows == uncached.rows
+        assert (cached.trace.normalized_json()
+                == uncached.trace.normalized_json())
+
+    def test_append_into_existing_gfus_keeps_byte_identity(self):
+        """Mixed hit/miss lookups must fold headers in probe order.
+
+        Appending into *existing* cells evicts only the merged GFU keys,
+        so the next query is the first with partial cache hits; a
+        hits-then-misses result dict would change float summation order
+        and break the cached-vs-uncached byte identity.
+        """
+        def build(cache):
+            session = HiveSession(num_datanodes=4, cache=cache)
+            session.fs.block_size = 64 * 1024
+            session.execute(METER_DDL)
+            session.load_rows("meterdata", meter_rows())
+            session.execute(INDEX_SQL)
+            session.execute(MDRQ)  # warm (or not) before the append
+            # same users/ts range as the warm query: merges into cells
+            # the cache already holds, leaving the rest as hits
+            extra = [(user, user % 5, "2012-12-02", 1.0)
+                     for user in range(40, 60)]
+            append_with_dgf(session, "meterdata", "dgf_idx", extra)
+            return session.execute(MDRQ)
+
+        cached, uncached = build(True), build(False)
+        assert cached.rows == uncached.rows
+        assert (cached.trace.normalized_json()
+                == uncached.trace.normalized_json())
+
+    def test_rebuild_index_fully_invalidates(self, dgf_session):
+        dgf_session.execute(MDRQ)
+        cache = dgf_session.metadata_cache
+        assert len(cache) > 0
+        dgf_session.rebuild_index("meterdata", "dgf_idx")
+        assert len(cache) == 0
+        assert cache.stats.invalidations > 0
+        assert _physical_gets(dgf_session) > 0  # cold again
+
+    def test_drop_index_clears_namespace_including_negatives(
+            self, dgf_session):
+        sparse = ("SELECT count(*) FROM meterdata "
+                  "WHERE userid >= 0 AND userid < 200 "
+                  "AND ts >= '2012-12-05' AND ts < '2012-12-06'")
+        dgf_session.execute(sparse)
+        cache = dgf_session.metadata_cache
+        assert len(cache) > 0
+        dgf_session.execute("DROP INDEX dgf_idx ON meterdata")
+        assert len(cache) == 0
+
+    def test_drop_table_clears_namespace(self, dgf_session):
+        dgf_session.execute(MDRQ)
+        cache = dgf_session.metadata_cache
+        assert len(cache) > 0
+        dgf_session.execute("DROP TABLE meterdata")
+        assert len(cache) == 0
+
+    def test_load_rows_invalidates_table_namespace(self, dgf_session):
+        dgf_session.execute(MDRQ)
+        cache = dgf_session.metadata_cache
+        assert len(cache) > 0
+        dgf_session.load_rows("meterdata", _append_rows(5))
+        assert len(cache) == 0
+
+    def test_kv_write_listener_evicts_single_entry(self, dgf_session):
+        dgf_session.execute(MDRQ)
+        cache = dgf_session.metadata_cache
+        key = next(iter(cache._entries))
+        assert key in cache
+        value = dgf_session.kvstore.get(key)
+        dgf_session.kvstore.put(key, value)  # write-through → evict
+        assert key not in cache
+
+
+# ------------------------------------------------------------------ the cache
+class TestCacheUnit:
+    def test_lru_eviction_by_entry_count(self):
+        cache = GfuMetadataCache(max_entries=4)
+        keys = [f"dgf:t:i:{n}" for n in range(6)]
+        cache.fill(keys, {k: ("v", n) for n, k in enumerate(keys)})
+        assert len(cache) == 4
+        assert cache.stats.evictions == 2
+        # oldest two evicted, newest four resident
+        assert keys[0] not in cache and keys[1] not in cache
+        assert all(k in cache for k in keys[2:])
+
+    def test_lru_order_updated_by_lookup(self):
+        cache = GfuMetadataCache(max_entries=2)
+        cache.fill(["dgf:t:i:a"], {"dgf:t:i:a": "A"})
+        cache.fill(["dgf:t:i:b"], {"dgf:t:i:b": "B"})
+        cache.lookup(["dgf:t:i:a"])  # touch A → B becomes LRU
+        cache.fill(["dgf:t:i:c"], {"dgf:t:i:c": "C"})
+        assert "dgf:t:i:a" in cache
+        assert "dgf:t:i:b" not in cache
+
+    def test_byte_budget_eviction(self):
+        cache = GfuMetadataCache(max_entries=1000, max_bytes=200)
+        for n in range(10):
+            key = f"dgf:t:i:{n}"
+            cache.fill([key], {key: "x" * 50})
+        assert cache.size_bytes <= 200
+        assert cache.stats.evictions > 0
+
+    def test_lookup_returns_hits_and_missing_in_probe_order(self):
+        cache = GfuMetadataCache()
+        cache.fill(["dgf:t:i:a", "dgf:t:i:b"], {"dgf:t:i:a": "A"})
+        hits, missing = cache.lookup(
+            ["dgf:t:i:a", "dgf:t:i:b", "dgf:t:i:c", "dgf:t:i:d"])
+        assert hits["dgf:t:i:a"] == "A"
+        assert hits["dgf:t:i:b"] is MISSING  # negative entry is a *hit*
+        assert missing == ["dgf:t:i:c", "dgf:t:i:d"]
+
+    def test_invalidate_index_is_namespace_scoped(self):
+        cache = GfuMetadataCache()
+        cache.fill(["dgf:t:one:k", "dgfmeta:t:one:m", "dgf:t:two:k"],
+                   {"dgf:t:one:k": 1, "dgfmeta:t:one:m": 2,
+                    "dgf:t:two:k": 3})
+        dropped = cache.invalidate_index("T", "ONE")  # case-insensitive
+        assert dropped == 2
+        assert "dgf:t:two:k" in cache
+        assert len(cache) == 1
+
+    def test_snapshot_shape(self):
+        cache = GfuMetadataCache()
+        cache.fill(["dgf:t:i:a"], {})
+        cache.lookup(["dgf:t:i:a"])
+        snap = cache.snapshot()
+        assert snap["hits"] == 1 and snap["entries"] == 1
+        assert set(snap) >= {"hits", "misses", "fills", "evictions",
+                             "invalidations", "hit_rate", "entries",
+                             "bytes"}
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            GfuMetadataCache(max_entries=0)
+        with pytest.raises(ValueError):
+            GfuMetadataCache(max_bytes=0)
+
+    def test_session_accepts_shared_cache_instance(self):
+        shared = GfuMetadataCache()
+        session = HiveSession(num_datanodes=4, cache=shared)
+        session.execute(METER_DDL)
+        session.load_rows("meterdata", meter_rows(num_users=40, num_days=2))
+        session.execute(INDEX_SQL)
+        session.execute("SELECT count(*) FROM meterdata "
+                        "WHERE userid >= 0 AND userid < 40 "
+                        "AND ts >= '2012-12-01' AND ts < '2012-12-02'")
+        assert session.metadata_cache is shared
+        assert len(shared) > 0

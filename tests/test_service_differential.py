@@ -1,0 +1,107 @@
+"""Service-level differential tests (ISSUE acceptance).
+
+Every workload here is replayed through :func:`assert_service_equivalent`:
+the direct cache-off session is the baseline, and the candidates are the
+direct cached session plus the concurrent :class:`QueryService` at
+concurrency 1/4/8, cache off and on.  All per-query observables — rows,
+stats, simulated seconds, normalized traces, structured plans — must be
+byte-identical; only *physical* KV op counts may differ (that is the
+cache working).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from tests.conftest import SCAN
+from tests.harness.differential import (Workload, assert_service_equivalent,
+                                        run_service_workload, run_workload,
+                                        _query_view)
+from tests.test_engine_equivalence import (METER_DDL, index_sql, mdrq_sql,
+                                           mdrq_workloads, stress_rows)
+
+AGG = ("SELECT sum(powerconsumed), count(*) FROM meterdata "
+       "WHERE userid >= 10 AND userid < 60 "
+       "AND ts >= '2012-12-02' AND ts <= '2012-12-05'")
+
+
+def _stress_workload(queries) -> Workload:
+    return Workload(table="meterdata", ddl=METER_DDL, rows=stress_rows(),
+                    queries=tuple(queries), index_sql=index_sql(10),
+                    index_name="d")
+
+
+def test_repeated_mdrq_equivalent_across_service_and_cache():
+    """The warm-cache path (same MDRQ over and over — the service's hot
+    case) must be observably identical to the cold path."""
+    predicate = {"u_lo": 5, "u_width": 30, "r_lo": 0, "r_width": 4,
+                 "d_lo": 1, "d_width": 3}
+    agg = mdrq_sql("sum(powerconsumed), count(*)", predicate)
+    assert_service_equivalent(
+        _stress_workload([(agg, None)] * 6 + [(agg, SCAN)]))
+
+
+def test_mixed_planner_paths_equivalent_under_service():
+    """Header path, slice path, scan and group-by interleaving on the
+    worker pool must not disturb each other's observables."""
+    predicate = {"u_lo": 0, "u_width": 45, "r_lo": 0, "r_width": 2,
+                 "d_lo": 0, "d_width": 5}
+    agg = mdrq_sql("sum(powerconsumed), count(*)", predicate)
+    grouped = (mdrq_sql("ts, sum(powerconsumed)", predicate)
+               + " GROUP BY ts")
+    projection = mdrq_sql("userid, powerconsumed", predicate)
+    baseline = assert_service_equivalent(_stress_workload(
+        [(agg, None), (grouped, None), (projection, None), (agg, SCAN),
+         (AGG, None), (agg, None)]))
+    assert baseline["query:0"]["index_used"]
+    assert not baseline["query:3"]["index_used"]
+
+
+def test_append_workload_equivalent_under_service():
+    """Appends run before the fan-out; the merged headers the queries see
+    must be identical with the cache invalidation path in play."""
+    append = tuple((userid, userid % 5, "2012-12-07", 1.5)
+                   for userid in range(25))
+    predicate = {"u_lo": 0, "u_width": 40, "r_lo": 0, "r_width": 4,
+                 "d_lo": 2, "d_width": 5}
+    agg = mdrq_sql("sum(powerconsumed), count(*)", predicate)
+    workload = Workload(
+        table="meterdata", ddl=METER_DDL, rows=stress_rows(),
+        queries=((agg, None), (agg, None), (agg, SCAN)),
+        index_sql=index_sql(10, precompute="sum(powerconsumed)"),
+        index_name="d", append_rows=append)
+    baseline = assert_service_equivalent(workload)
+    assert (baseline["query:0"]["rows"][0][1]
+            == baseline["query:2"]["rows"][0][1])
+
+
+def test_warm_cache_eliminates_physical_reads_but_not_observables():
+    """Direct evidence the comparison is meaningful: the cached service
+    run really did fewer physical KV reads than the uncached baseline,
+    while the compared views matched exactly."""
+    predicate = {"u_lo": 5, "u_width": 30, "r_lo": 0, "r_width": 4,
+                 "d_lo": 1, "d_width": 3}
+    agg = mdrq_sql("sum(powerconsumed), count(*)", predicate)
+    workload = _stress_workload([(agg, None)] * 8)
+    baseline = run_workload(workload, cache=False)
+    cached = run_workload(workload, cache=True)
+    assert _query_view(cached) == _query_view(baseline)
+    assert cached["kv_ops"]["gets"] < baseline["kv_ops"]["gets"]
+    # the logical per-query trace still reports the same kv.gets
+    assert (cached["query:7"]["trace"] == baseline["query:7"]["trace"])
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(workload=mdrq_workloads())
+def test_generated_workloads_equivalent_under_service(workload):
+    """Generated MDRQ workloads (every planner path) through the service
+    at concurrency 1/4/8, cache on and off."""
+    assert_service_equivalent(workload, concurrency_levels=(1, 4))
+
+
+def test_service_workload_runs_at_high_concurrency():
+    """More workers than statements is fine (idle workers just exit)."""
+    fingerprint = run_service_workload(
+        _stress_workload([(AGG, None)]), concurrency=8, cache=True)
+    assert fingerprint["query:0"]["rows"]
