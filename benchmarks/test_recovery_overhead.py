@@ -1,0 +1,120 @@
+"""Recovery overhead: what chaos costs on the Fig. 8-10 aggregation MDRQs.
+
+The differential harness (tests/test_chaos_differential.py) proves that
+faults are *observably free*: rows, counters and per-query simulated
+seconds are byte-identical to the fault-free run.  The real price of
+recovery therefore lives entirely in the :class:`~repro.faults.registry.
+FaultRegistry` ledger — simulated exponential backoff, re-executed task
+startups and KV retry round trips — converted to paper-scale seconds by
+``FaultRegistry.recovery_overhead_seconds(PAPER_CLUSTER)``.
+
+This benchmark runs the aggregation workload twice on identically-loaded
+DGF sessions (one fault-free, one under a chaos plan), asserts the
+query-visible equivalence plus a strictly positive overhead ledger, and
+prints the overhead next to the fault-free simulated time (visible with
+``-s``, as the CI chaos job runs it).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, TASK_CRASH
+from repro.hive.session import QueryOptions
+from repro.mapreduce.cluster import PAPER_CLUSTER
+
+pytestmark = pytest.mark.slow
+
+SELECTIVITIES = ("point", 0.05, 0.12)
+
+#: Probabilistic faults only ever hit attempt 0, so the default
+#: RetryPolicy always recovers; the scheduled spec guarantees at least
+#: one crash+retry even if every rate-draw misses.
+CHAOS = FaultPlan(
+    seed=0,
+    task_crash_rate=0.2,
+    task_straggler_rate=0.15,
+    kv_timeout_rate=0.1,
+    dead_datanodes=(2,),
+    scheduled=(FaultSpec(kind=TASK_CRASH, task_kind="map",
+                         task_id=0, attempt=0),))
+
+
+@pytest.fixture(scope="module")
+def overhead_pair(meter_lab):
+    """(fault-free session, chaos session) with identical data + index.
+
+    Built fresh so the chaos injector never touches the shared cached
+    sessions other benchmarks measure; the index build on the chaos side
+    already exercises crash/retry, speculation and replica failover.
+    """
+    baseline = meter_lab.fresh_dgf_session("medium")
+    chaos = meter_lab.fresh_dgf_session("medium", faults=CHAOS)
+    return baseline, chaos
+
+
+def _run_workload(session, meter_lab):
+    """Total simulated seconds of the aggregation MDRQs, plus results."""
+    total = 0.0
+    results = {}
+    for selectivity in SELECTIVITIES:
+        sql = meter_lab.query_sql("agg", selectivity)
+        result = session.execute(sql, QueryOptions(index_name="dgf_idx"))
+        assert "dgf" in result.stats.index_used
+        total += result.stats.simulated_seconds
+        results[selectivity] = result
+    return total, results
+
+
+def test_chaos_workload_matches_fault_free(overhead_pair, meter_lab):
+    """Query-visible observables are untouched by injection + recovery."""
+    baseline, chaos = overhead_pair
+    want_total, want = _run_workload(baseline, meter_lab)
+    got_total, got = _run_workload(chaos, meter_lab)
+    assert got_total == want_total
+    for selectivity in SELECTIVITIES:
+        assert got[selectivity].rows == want[selectivity].rows
+        assert (got[selectivity].stats.records_read
+                == want[selectivity].stats.records_read)
+        assert (got[selectivity].stats.time.total
+                == want[selectivity].stats.time.total)
+
+
+def test_recovery_overhead_is_positive_and_ledgered(overhead_pair,
+                                                    meter_lab):
+    """The ledger records real recovery work and prices it > 0 seconds."""
+    baseline, chaos = overhead_pair
+    fault_free_seconds, _ = _run_workload(baseline, meter_lab)
+    _run_workload(chaos, meter_lab)
+
+    registry = chaos.fault_injector.registry
+    assert registry.total_injected() > 0
+    assert registry.total_recovered() > 0
+    assert registry.reexecuted_tasks >= 1    # the scheduled map-0 crash
+    assert registry.backoff_seconds > 0.0
+
+    overhead = registry.recovery_overhead_seconds(PAPER_CLUSTER)
+    assert overhead > 0.0
+
+    print("\nrecovery overhead (paper-scale simulated seconds)")
+    print(f"  fault-free aggregation workload : {fault_free_seconds:10.2f} s")
+    print(f"  recovery overhead (ledger)      : {overhead:10.2f} s")
+    print(f"    backoff                       : "
+          f"{registry.backoff_seconds:10.2f} s")
+    print(f"    re-executed tasks             : "
+          f"{registry.reexecuted_tasks:6d} x "
+          f"{PAPER_CLUSTER.task_startup_seconds} s startup")
+    print(f"  injected  : {dict(registry.injected_counts())}")
+    print(f"  recovered : {dict(registry.recovery_counts())}")
+
+
+@pytest.mark.parametrize("mode", ("fault-free", "chaos"))
+def test_aggregation_wallclock_under_chaos(overhead_pair, meter_lab,
+                                           benchmark, mode):
+    """Wall-clock cost of the recovery machinery itself (re-run tasks,
+    failover probes) on the 5% aggregation MDRQ — compare the two rows in
+    the benchmark table."""
+    session = overhead_pair[0] if mode == "fault-free" else overhead_pair[1]
+    sql = meter_lab.query_sql("agg", 0.05)
+    result = benchmark.pedantic(
+        lambda: session.execute(sql, QueryOptions(index_name="dgf_idx")),
+        rounds=3, iterations=1)
+    assert "dgf" in result.stats.index_used

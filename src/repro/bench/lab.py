@@ -114,19 +114,33 @@ class MeterLab:
     def interval_size(self, case: str) -> int:
         return max(1, self.config.num_users // _CASE_DIVISORS[case])
 
-    def dgf_session(self, case: str) -> HiveSession:
-        if case not in self._dgf:
-            session = self._new_session()
-            self._load_meter(session, "TEXTFILE")
-            interval = self.interval_size(case)
-            session.execute(
-                "CREATE INDEX dgf_idx ON TABLE meterdata"
+    def _dgf_ddl(self, case: str) -> str:
+        interval = self.interval_size(case)
+        return ("CREATE INDEX dgf_idx ON TABLE meterdata"
                 "(userid, regionid, ts) AS 'dgf' IDXPROPERTIES ("
                 f"'userid'='0_{interval}', 'regionid'='0_1', "
                 f"'ts'='{self.generator.config.start_date}_1d', "
                 "'precompute'='sum(powerconsumed),count(*)')")
-            self._dgf[case] = session
+
+    def dgf_session(self, case: str) -> HiveSession:
+        if case not in self._dgf:
+            self._dgf[case] = self.fresh_dgf_session(case)
         return self._dgf[case]
+
+    def fresh_dgf_session(self, case: str, *, faults=None,
+                          execution=None) -> HiveSession:
+        """A fresh, *uncached* DGF session — same data, chunking and index
+        DDL as :meth:`dgf_session`, but never shared, so callers may wire
+        in a :class:`~repro.faults.FaultPlan` or a custom
+        :class:`~repro.mapreduce.cluster.ExecutionConfig` without
+        perturbing the cached sessions other experiments compare against
+        (the recovery-overhead benchmark does both)."""
+        session = HiveSession(data_scale=self.data_scale,
+                              execution=execution, faults=faults)
+        session.fs.block_size = self.config.block_bytes
+        self._load_meter(session, "TEXTFILE")
+        session.execute(self._dgf_ddl(case))
+        return session
 
     @property
     def compact_session(self) -> HiveSession:

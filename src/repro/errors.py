@@ -4,6 +4,35 @@ Every error raised by the library derives from :class:`ReproError`, so
 applications can catch one base class.  Subsystems raise the most specific
 subclass that applies; error messages always name the offending object
 (path, table, key, ...) to keep failures debuggable.
+
+Transient faults form a second axis: errors that a retry, failover or
+speculative re-execution is expected to cure also derive from
+:class:`TransientError`, *in addition to* their subsystem base.  The
+"most specific subclass" contract therefore composes — a KV-store RPC
+timeout is both a KV-store error and a transient one:
+
+    >>> issubclass(KVStoreTimeout, KVStoreError)
+    True
+    >>> issubclass(KVStoreTimeout, TransientError)
+    True
+    >>> issubclass(DataNodeUnavailable, HDFSError)
+    True
+    >>> issubclass(TaskAttemptFailed, MapReduceError)
+    True
+    >>> issubclass(ServiceDegradedError, ServiceError)
+    True
+    >>> all(issubclass(cls, (TransientError, ReproError))
+    ...     for cls in (DataNodeUnavailable, KVStoreTimeout,
+    ...                 TaskAttemptFailed, ServiceDegradedError))
+    True
+
+Permanent errors never carry the transient marker, so retry loops that
+catch :class:`TransientError` cannot accidentally swallow them:
+
+    >>> issubclass(FileNotFoundInHDFS, TransientError)
+    False
+    >>> issubclass(ServiceOverloadedError, TransientError)
+    False
 """
 
 from __future__ import annotations
@@ -11,6 +40,15 @@ from __future__ import annotations
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
+
+
+class TransientError(ReproError):
+    """Marker base for faults that recovery machinery may retry.
+
+    Raised (alongside a subsystem base class) by the fault-injection and
+    recovery subsystem (:mod:`repro.faults`): bounded retries, replica
+    failover and speculative execution all key off this class.
+    """
 
 
 class HDFSError(ReproError):
@@ -33,6 +71,11 @@ class IsADirectory(HDFSError):
     """A file operation was attempted on a directory."""
 
 
+class DataNodeUnavailable(HDFSError, TransientError):
+    """A block read hit a dead DataNode (recoverable while a live replica
+    remains; permanent once every replica's node is down)."""
+
+
 class StorageFormatError(ReproError):
     """Corrupt or inconsistent data encountered by a file-format codec."""
 
@@ -45,8 +88,18 @@ class MapReduceError(ReproError):
     """Failures inside the MapReduce engine (job config, task errors)."""
 
 
+class TaskAttemptFailed(MapReduceError, TransientError):
+    """One task *attempt* crashed; the engine retries up to the bounded
+    attempt limit before letting the failure escape the job."""
+
+
 class KVStoreError(ReproError):
     """Errors from the HBase-like key-value store."""
+
+
+class KVStoreTimeout(KVStoreError, TransientError):
+    """A KV-store operation timed out (an injected transient RPC fault);
+    the store retries with backoff before surfacing it."""
 
 
 class HiveQLSyntaxError(ReproError):
@@ -92,6 +145,12 @@ class ServiceOverloadedError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """A statement was submitted to a closed query service."""
+
+
+class ServiceDegradedError(ServiceError, TransientError):
+    """The query service is shedding load while degraded (its recent
+    error rate crossed the degradation threshold); retry after the
+    window recovers."""
 
 
 class InterfaceError(ReproError):

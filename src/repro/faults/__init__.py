@@ -1,0 +1,32 @@
+"""Deterministic fault injection and the registry of recovery outcomes.
+
+Public surface::
+
+    FaultPlan       what goes wrong (seeded rates + scheduled FaultSpecs)
+    FaultSpec       one scheduled fault
+    RetryPolicy     bounded attempts + simulated exponential backoff
+    FaultInjector   plan + registry facade held by instrumented layers
+    FaultRegistry   durable record of injections and recoveries
+    FaultEvent      one entry in that record
+
+Kind vocabularies: ``FAULT_KINDS`` (:data:`TASK_CRASH`,
+:data:`TASK_STRAGGLER`, :data:`DATANODE_DEAD`, :data:`KV_TIMEOUT`) and
+``RECOVERY_KINDS`` (:data:`TASK_RETRY`, :data:`SPECULATIVE_WIN`,
+:data:`REPLICA_FAILOVER`, :data:`KV_RETRY`).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (DATANODE_DEAD, FAULT_KINDS, KV_RETRY,
+                               KV_TIMEOUT, RECOVERY_KINDS, REPLICA_FAILOVER,
+                               SPECULATIVE_WIN, TASK_CRASH, TASK_RETRY,
+                               TASK_STRAGGLER, FaultPlan, FaultSpec,
+                               RetryPolicy)
+from repro.faults.registry import FaultEvent, FaultRegistry
+
+__all__ = [
+    "FaultPlan", "FaultSpec", "RetryPolicy",
+    "FaultInjector", "FaultRegistry", "FaultEvent",
+    "FAULT_KINDS", "RECOVERY_KINDS",
+    "TASK_CRASH", "TASK_STRAGGLER", "DATANODE_DEAD", "KV_TIMEOUT",
+    "TASK_RETRY", "SPECULATIVE_WIN", "REPLICA_FAILOVER", "KV_RETRY",
+]

@@ -1,0 +1,111 @@
+"""FaultInjector: binds a :class:`FaultPlan` to a :class:`FaultRegistry`.
+
+The injector is the single object the instrumented layers hold (``HDFS``,
+``KVStore``, ``MapReduceEngine`` each expose a ``faults`` attribute,
+``None`` by default so the fault-free fast path costs one attribute
+read).  It answers the plan's decisions *and* records what actually
+happened, so the registry is always consistent with the injected
+behaviour regardless of which layer asked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import KVStoreTimeout
+from repro.faults.plan import (DATANODE_DEAD, KV_TIMEOUT, SPECULATIVE_WIN,
+                               TASK_CRASH, TASK_RETRY, TASK_STRAGGLER,
+                               FaultPlan, KV_RETRY, REPLICA_FAILOVER)
+from repro.faults.registry import FaultRegistry
+
+
+def _task_target(job: str, kind: str, task_id: int) -> str:
+    return f"{job}/{kind}[{task_id}]"
+
+
+class FaultInjector:
+    """Decision + bookkeeping facade over one plan and one registry."""
+
+    def __init__(self, plan: FaultPlan,
+                 registry: Optional[FaultRegistry] = None):
+        self.plan = plan
+        self.registry = registry if registry is not None else FaultRegistry()
+        self.policy = plan.policy
+
+    def bind_metrics(self, metrics) -> None:
+        self.registry.bind_metrics(metrics)
+
+    # ---------------------------------------------------------------- tasks
+    def task_crash_point(self, job: str, kind: str, task_id: int,
+                         attempt: int) -> Optional[int]:
+        """The plan's crash decision for one attempt (None = clean)."""
+        return self.plan.task_crash_point(job, kind, task_id, attempt)
+
+    def task_crashed(self, job: str, kind: str, task_id: int,
+                     attempt: int, records_read: int = 0,
+                     will_retry: bool = True) -> None:
+        """Record one crashed attempt; charge backoff only when a retry
+        will actually wait it out (not for exhausted or speculative
+        attempts)."""
+        self.registry.record_fault(
+            TASK_CRASH, _task_target(job, kind, task_id), attempt,
+            detail=f"after {records_read} records")
+        if will_retry:
+            self.registry.add_backoff(self.policy.backoff_seconds(attempt + 1))
+
+    def task_recovered(self, job: str, kind: str, task_id: int,
+                       attempt: int) -> None:
+        """A retried attempt succeeded after >= 1 crash."""
+        self.registry.record_recovery(
+            TASK_RETRY, _task_target(job, kind, task_id), attempt)
+
+    def is_straggler(self, job: str, kind: str, task_id: int) -> bool:
+        if not self.policy.speculative_execution:
+            return False
+        return self.plan.is_straggler(job, kind, task_id)
+
+    def straggler_detected(self, job: str, kind: str, task_id: int) -> None:
+        self.registry.record_fault(
+            TASK_STRAGGLER, _task_target(job, kind, task_id))
+
+    def speculative_won(self, job: str, kind: str, task_id: int,
+                        attempt: int) -> None:
+        self.registry.record_recovery(
+            SPECULATIVE_WIN, _task_target(job, kind, task_id), attempt)
+
+    # ------------------------------------------------------------------- KV
+    def kv_gate(self, op: str, key: str) -> int:
+        """Run the transient-timeout gate for one logical KV operation.
+
+        Returns the number of timeouts survived (0 = clean first attempt).
+        Raises :class:`~repro.errors.KVStoreTimeout` when the plan fails
+        every attempt the policy allows.
+        """
+        target = f"{op}:{key}"
+        attempt = 0
+        while self.plan.kv_times_out(op, key, attempt):
+            self.registry.record_fault(KV_TIMEOUT, target, attempt)
+            attempt += 1
+            if attempt >= self.policy.max_kv_attempts:
+                raise KVStoreTimeout(
+                    f"KV {op} of {key!r} timed out on all "
+                    f"{attempt} attempts")
+            self.registry.add_backoff(self.policy.backoff_seconds(attempt))
+        if attempt:
+            self.registry.record_recovery(KV_RETRY, target, attempt)
+        return attempt
+
+    # ----------------------------------------------------------------- HDFS
+    def activate_datanode_faults(self, fs) -> None:
+        """Kill the plan's ``dead_datanodes`` (the chaos runner calls this
+        after data placement so reads must actually fail over)."""
+        for node_id in self.plan.dead_datanodes:
+            fs.kill_datanode(node_id)
+
+    def datanode_killed(self, node_id: int) -> None:
+        self.registry.record_fault(DATANODE_DEAD, f"datanode-{node_id}")
+
+    def replica_failover(self, block_id: int, used_node: int) -> None:
+        self.registry.record_recovery(
+            REPLICA_FAILOVER, f"block-{block_id}",
+            detail=f"served by datanode-{used_node}")

@@ -1,0 +1,146 @@
+"""FaultRegistry: the durable record of injected faults and recoveries.
+
+Every injection (a crashed attempt, a straggler, a dead datanode, a KV
+timeout) and every recovery (a successful retry, a speculative win, a
+replica failover) lands here as a :class:`FaultEvent`.  The registry is
+the chaos harness's proof that faults *demonstrably fired* — its counters
+must be nonzero for a chaos run to count — and the recovery benchmark's
+ledger: simulated backoff seconds and re-executed attempts are charged
+here, never to the query's cost-model time (which stays byte-identical
+to fault-free runs).
+
+Thread model: one lock serializes appends; events carry no wall-clock
+timestamps, so two runs of the same plan produce the same multiset of
+events regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faults.plan import (KV_RETRY, REPLICA_FAILOVER, SPECULATIVE_WIN,
+                               TASK_RETRY)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or one recovery, with its stable target name."""
+
+    kind: str
+    target: str
+    attempt: int = 0
+    #: True for recovery events, False for injections.
+    recovery: bool = False
+    detail: str = ""
+
+
+class FaultRegistry:
+    """Accumulates fault/recovery events and the simulated retry cost."""
+
+    def __init__(self, metrics=None):
+        self._lock = threading.Lock()
+        self.events: List[FaultEvent] = []
+        self._backoff_seconds = 0.0
+        self._reexecuted_tasks = 0
+        self._metrics = metrics
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror future events into ``faults_injected_total`` /
+        ``fault_recoveries_total`` counters of a metrics registry."""
+        self._metrics = metrics
+
+    # -------------------------------------------------------------- record
+    def record_fault(self, kind: str, target: str, attempt: int = 0,
+                     detail: str = "") -> FaultEvent:
+        event = FaultEvent(kind=kind, target=target, attempt=attempt,
+                           recovery=False, detail=detail)
+        self._append(event)
+        if self._metrics is not None:
+            self._metrics.counter(
+                "faults_injected_total",
+                "faults injected by the active FaultPlan").inc(kind=kind)
+        return event
+
+    def record_recovery(self, kind: str, target: str, attempt: int = 0,
+                        detail: str = "") -> FaultEvent:
+        event = FaultEvent(kind=kind, target=target, attempt=attempt,
+                           recovery=True, detail=detail)
+        self._append(event)
+        if kind in (TASK_RETRY, SPECULATIVE_WIN):
+            with self._lock:
+                self._reexecuted_tasks += 1
+        if self._metrics is not None:
+            self._metrics.counter(
+                "fault_recoveries_total",
+                "recoveries performed by the fault-tolerance "
+                "machinery").inc(kind=kind)
+        return event
+
+    def add_backoff(self, seconds: float) -> None:
+        with self._lock:
+            self._backoff_seconds += seconds
+
+    def _append(self, event: FaultEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    # ------------------------------------------------------------- inspect
+    def _counts(self, recovery: bool) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        with self._lock:
+            for event in self.events:
+                if event.recovery is recovery:
+                    out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def injected_counts(self) -> Dict[str, int]:
+        """``{fault kind: times injected}``."""
+        return self._counts(recovery=False)
+
+    def recovery_counts(self) -> Dict[str, int]:
+        """``{recovery kind: times recovered}``."""
+        return self._counts(recovery=True)
+
+    def total_injected(self) -> int:
+        return sum(self.injected_counts().values())
+
+    def total_recovered(self) -> int:
+        return sum(self.recovery_counts().values())
+
+    @property
+    def backoff_seconds(self) -> float:
+        with self._lock:
+            return self._backoff_seconds
+
+    @property
+    def reexecuted_tasks(self) -> int:
+        with self._lock:
+            return self._reexecuted_tasks
+
+    def events_of(self, kind: str) -> List[FaultEvent]:
+        with self._lock:
+            return [e for e in self.events if e.kind == kind]
+
+    # ----------------------------------------------------------- overheads
+    def recovery_overhead_seconds(self, cluster) -> float:
+        """Simulated seconds recovery cost on top of the fault-free run.
+
+        Re-executed attempts (retries and speculative duplicates) each pay
+        one task launch; KV retries each pay one extra get; backoff waits
+        are charged as recorded.  This is the number the recovery-overhead
+        benchmark reports — by design it is *excluded* from per-query
+        ``stats.time`` so chaos results stay byte-identical.
+        """
+        recoveries = self.recovery_counts()
+        kv_retries = recoveries.get(KV_RETRY, 0)
+        failovers = recoveries.get(REPLICA_FAILOVER, 0)
+        return (self.backoff_seconds
+                + self.reexecuted_tasks * cluster.task_startup_seconds
+                + kv_retries * cluster.kv_get_seconds
+                + failovers * 0.0)  # failing over is a same-read re-route
+
+    def summary(self) -> Dict[str, Dict[str, int]]:
+        return {"injected": self.injected_counts(),
+                "recovered": self.recovery_counts()}

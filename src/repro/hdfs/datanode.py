@@ -4,24 +4,45 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.errors import HDFSError
+from repro.errors import DataNodeUnavailable, HDFSError
 from repro.hdfs.metrics import IOStats
 
 
 class DataNode:
-    """One worker's disk.  Stores block replicas as immutable ``bytes``."""
+    """One worker's disk.  Stores block replicas as immutable ``bytes``.
+
+    A node may be marked dead (:meth:`mark_dead`) by the fault subsystem:
+    its replicas stay on disk (the process is gone, not the platters) but
+    every read/store raises :class:`~repro.errors.DataNodeUnavailable`
+    until :meth:`revive` — the filesystem's replica failover handles the
+    read path.
+    """
 
     def __init__(self, node_id: int):
         self.node_id = node_id
         self._blocks: Dict[int, bytes] = {}
         self.io = IOStats()
+        self.alive = True
+
+    def mark_dead(self) -> None:
+        self.alive = False
+
+    def revive(self) -> None:
+        self.alive = True
+
+    def _check_alive(self) -> None:
+        if not self.alive:
+            raise DataNodeUnavailable(
+                f"datanode {self.node_id} is marked dead")
 
     def store(self, block_id: int, data: bytes) -> None:
+        self._check_alive()
         self._blocks[block_id] = bytes(data)
         self.io.record_write(len(data))
 
     def read(self, block_id: int, offset: int, length: int,
              seek: bool = False) -> bytes:
+        self._check_alive()
         try:
             data = self._blocks[block_id]
         except KeyError:

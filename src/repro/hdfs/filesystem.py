@@ -8,17 +8,42 @@ splits per file.  Replication defaults to 2, the paper's setting.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.common.units import MiB
-from repro.errors import FileNotFoundInHDFS, HDFSError, IsADirectory
+from repro.errors import (DataNodeUnavailable, FileNotFoundInHDFS, HDFSError,
+                          IsADirectory)
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.metrics import IOStats
 from repro.hdfs.namenode import BlockInfo, INode, NameNode
 
 DEFAULT_BLOCK_SIZE = 4 * MiB
 DEFAULT_REPLICATION = 2
+
+
+class ReplicationClampWarning(UserWarning):
+    """A requested replication factor exceeded the datanode count and was
+    clamped (HDFS cannot place two replicas of one block on one node)."""
+
+
+_clamp_warned = False
+
+
+def _warn_clamp_once(requested: int, effective: int,
+                     num_datanodes: int) -> None:
+    """Warn the first time a replication factor is clamped (per process;
+    every clamp is still recorded on the instance as
+    ``replication_requested`` vs. ``replication``)."""
+    global _clamp_warned
+    if _clamp_warned:
+        return
+    _clamp_warned = True
+    warnings.warn(
+        f"requested replication {requested} exceeds {num_datanodes} "
+        f"datanode(s); clamped to {effective}",
+        ReplicationClampWarning, stacklevel=3)
 
 
 @dataclass
@@ -150,7 +175,12 @@ class HDFS:
         if num_datanodes < 1:
             raise HDFSError("need at least one datanode")
         self.block_size = int(block_size)
-        self.replication = min(int(replication), num_datanodes)
+        #: the factor the caller asked for, before any clamping.
+        self.replication_requested = int(replication)
+        self.replication = min(self.replication_requested, num_datanodes)
+        if self.replication < self.replication_requested:
+            _warn_clamp_once(self.replication_requested, self.replication,
+                             num_datanodes)
         self.namenode = NameNode()
         self.datanodes = [DataNode(i) for i in range(num_datanodes)]
         self.io = IOStats()
@@ -159,6 +189,9 @@ class HDFS:
         #: thread's active trace span (task spans under the parallel
         #: engine, so per-op trace accounting stays race-free).
         self.tracer = None
+        #: optional :class:`repro.faults.FaultInjector`; records datanode
+        #: deaths and replica failovers when set.
+        self.faults = None
         self._placement_cursor = 0
         self._mutate_lock = threading.RLock()
 
@@ -218,11 +251,57 @@ class HDFS:
         with self.open(path) as reader:
             return reader.read()
 
+    # ------------------------------------------------------------- datanodes
+    def kill_datanode(self, node_id: int) -> None:
+        """Mark one datanode dead (fault injection).  Its replicas become
+        unreadable until :meth:`revive_datanode`; reads fail over to the
+        surviving replicas, writes avoid the node."""
+        self.datanodes[node_id].mark_dead()
+        if self.faults is not None:
+            self.faults.datanode_killed(node_id)
+
+    def revive_datanode(self, node_id: int) -> None:
+        self.datanodes[node_id].revive()
+
+    def live_datanodes(self) -> List[int]:
+        return [d.node_id for d in self.datanodes if d.alive]
+
+    def replication_report(self) -> Dict[str, int]:
+        """Requested vs. effective replication plus current block health.
+
+        ``under_replicated`` counts blocks with fewer live replicas than
+        the effective factor; ``unavailable`` counts blocks with none.
+        """
+        under = unavailable = total = 0
+        for block in self.namenode.iter_blocks():
+            total += 1
+            live = sum(1 for node_id in block.datanodes
+                       if self.datanodes[node_id].alive)
+            if live == 0:
+                unavailable += 1
+            if live < self.replication:
+                under += 1
+        return {"requested": self.replication_requested,
+                "effective": self.replication,
+                "blocks": total,
+                "under_replicated": under,
+                "unavailable": unavailable}
+
     # ---------------------------------------------------------------- blocks
     def _pick_datanodes(self) -> List[int]:
         n = len(self.datanodes)
-        picked = [(self._placement_cursor + i) % n
-                  for i in range(self.replication)]
+        # Scan from the cursor, skipping dead nodes, so the write pipeline
+        # only targets live replicas; the cursor itself advances by one per
+        # block regardless of liveness, keeping placement deterministic.
+        picked: List[int] = []
+        for i in range(n):
+            node_id = (self._placement_cursor + i) % n
+            if self.datanodes[node_id].alive:
+                picked.append(node_id)
+                if len(picked) == self.replication:
+                    break
+        if not picked:
+            raise DataNodeUnavailable("no live datanode to place a block on")
         self._placement_cursor = (self._placement_cursor + 1) % n
         return picked
 
@@ -249,9 +328,21 @@ class HDFS:
                     seek: bool) -> bytes:
         if not block.datanodes:
             raise FileNotFoundInHDFS(f"block {block.block_id} has no replicas")
-        # Read from the first replica (locality is handled by the cost model).
-        data = self.datanodes[block.datanodes[0]].read(
-            block.block_id, offset, length, seek=seek)
+        # Read from the first replica (locality is handled by the cost
+        # model), failing over replica-by-replica past dead datanodes.
+        data = None
+        for index, node_id in enumerate(block.datanodes):
+            datanode = self.datanodes[node_id]
+            if not datanode.alive:
+                continue
+            data = datanode.read(block.block_id, offset, length, seek=seek)
+            if index > 0:
+                self._note_failover(block, node_id)
+            break
+        if data is None:
+            raise DataNodeUnavailable(
+                f"block {block.block_id}: all replicas on dead datanodes "
+                f"{block.datanodes}")
         self.io.record_read(len(data), seek=seek)
         tracer = self.tracer
         if tracer is not None:
@@ -265,3 +356,12 @@ class HDFS:
                 if seek:
                     counters["hdfs.seeks"] = counters.get("hdfs.seeks", 0) + 1
         return data
+
+    def _note_failover(self, block: BlockInfo, used_node: int) -> None:
+        if self.faults is not None:
+            self.faults.replica_failover(block.block_id, used_node)
+        tracer = self.tracer
+        if tracer is not None:
+            span = tracer.current()
+            if span is not None:
+                span.add("fault.hdfs_failovers")

@@ -178,6 +178,11 @@ class NameNode:
         self._num_blocks += 1
         return block
 
+    def iter_blocks(self) -> Iterator[BlockInfo]:
+        """Every block in the namespace (file walk order)."""
+        for path in self.walk_files("/"):
+            yield from self.get(path).blocks
+
     # ----------------------------------------------------------------- memory
     @property
     def num_dirs(self) -> int:

@@ -113,7 +113,8 @@ class HiveSession:
                  data_scale: float = 1.0,
                  num_datanodes: int = 4,
                  execution: Optional[ExecutionConfig] = None,
-                 cache: Union[None, bool, GfuMetadataCache] = None):
+                 cache: Union[None, bool, GfuMetadataCache] = None,
+                 faults: Union[None, "FaultPlan", "FaultInjector"] = None):
         self.fs = fs if fs is not None else HDFS(num_datanodes=num_datanodes)
         self.kvstore = kvstore if kvstore is not None else KVStore()
         self.cluster = cluster
@@ -131,8 +132,22 @@ class HiveSession:
         self.metrics = MetricsRegistry()
         self.fs.tracer = self.tracer
         self.kvstore.tracer = self.tracer
+        # Fault injection: accept a FaultPlan (wrapped in a fresh injector)
+        # or a prebuilt FaultInjector; every instrumented layer shares it.
+        # ``faults=None`` (the default) keeps all fault paths dormant.
+        if faults is None:
+            self.fault_injector = None
+        else:
+            from repro.faults import FaultInjector, FaultPlan
+            if isinstance(faults, FaultPlan):
+                faults = FaultInjector(faults)
+            self.fault_injector = faults
+            self.fault_injector.bind_metrics(self.metrics)
+            self.fs.faults = self.fault_injector
+            self.kvstore.faults = self.fault_injector
         self.engine = MapReduceEngine(self.fs, execution=self.execution,
-                                      tracer=self.tracer)
+                                      tracer=self.tracer,
+                                      faults=self.fault_injector)
         # GFU-metadata cache in front of the KV store: on by default
         # (``cache=False`` disables it, an instance injects a shared one).
         # Kept coherent by the store's write listeners plus the explicit

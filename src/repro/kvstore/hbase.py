@@ -68,6 +68,11 @@ class KVStore:
         #: optional :class:`repro.obs.trace.Tracer`; when set, each op also
         #: lands as a ``kv.*`` counter on the calling thread's active span.
         self.tracer = None
+        #: optional :class:`repro.faults.FaultInjector`; when set, every
+        #: operation first passes a transient-timeout gate that may retry
+        #: (with simulated backoff) or raise
+        #: :class:`~repro.errors.KVStoreTimeout`.
+        self.faults = None
         self._lock = threading.RLock()
         self._write_listeners: List[Callable[[str], None]] = []
 
@@ -75,6 +80,24 @@ class KVStore:
         tracer = self.tracer
         if tracer is not None:
             tracer.add(name, amount)
+
+    def _fault_gate(self, op: str, key: str) -> None:
+        """Injected-timeout gate, run *before* the physical operation.
+
+        Timing out before any store work keeps ``stats`` (physical op
+        counts) identical with faults on or off: a timed-out attempt did
+        no work, and the successful retry does exactly the fault-free
+        run's single operation.  Retries surface as ``fault.*`` counters
+        on the active span; exhaustion raises
+        :class:`~repro.errors.KVStoreTimeout`.
+        """
+        faults = self.faults
+        if faults is None:
+            return
+        retries = faults.kv_gate(op, key)
+        if retries:
+            self._trace_op("fault.kv_timeouts", retries)
+            self._trace_op("fault.kv_retries", retries)
 
     # ----------------------------------------------------------- listeners
     def add_write_listener(self, listener: Callable[[str], None]) -> None:
@@ -121,6 +144,7 @@ class KVStore:
     def put(self, key: str, value: Any) -> None:
         if not isinstance(key, str):
             raise KVStoreError(f"keys must be strings, got {type(key)}")
+        self._fault_gate("put", key)
         with self._lock:
             region = self._region_for(key)
             if key not in region.values:
@@ -136,6 +160,7 @@ class KVStore:
             self.put(key, value)
 
     def get(self, key: str) -> Optional[Any]:
+        self._fault_gate("get", key)
         self._trace_op("kv.gets")
         with self._lock:
             self.stats.gets += 1
@@ -149,6 +174,8 @@ class KVStore:
         it replaces did.
         """
         keys = list(keys)
+        if keys:
+            self._fault_gate("multi_get", keys[0])
         out: Dict[str, Any] = {}
         with self._lock:
             self.stats.gets += len(keys)
@@ -161,6 +188,7 @@ class KVStore:
         return out
 
     def delete(self, key: str) -> bool:
+        self._fault_gate("delete", key)
         with self._lock:
             region = self._region_for(key)
             if key not in region.values:
@@ -172,6 +200,7 @@ class KVStore:
         return True
 
     def contains(self, key: str) -> bool:
+        self._fault_gate("get", key)
         self._trace_op("kv.gets")
         with self._lock:
             self.stats.gets += 1
@@ -194,6 +223,7 @@ class KVStore:
             raise KVStoreError(f"batch_size must be >= 1, got {batch_size}")
         next_key = start_key
         while True:
+            self._fault_gate("scan", next_key)
             batch: List[Tuple[str, Any]] = []
             with self._lock:
                 for region in self._regions:

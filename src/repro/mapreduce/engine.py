@@ -18,16 +18,18 @@ from __future__ import annotations
 import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.errors import MapReduceError, TaskAttemptFailed
 from repro.hdfs.filesystem import HDFS
 from repro.hdfs.metrics import task_io_scope
 from repro.mapreduce.cluster import ExecutionConfig, SEQUENTIAL
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.cost import TaskStats
 from repro.mapreduce.job import Job, JobResult, TaskContext
-from repro.obs.trace import NULL_TRACER, Span, Tracer
+from repro.obs.trace import (FAULT_COUNTER_PREFIX, FAULT_SPAN_PREFIX,
+                             NULL_TRACER, Span, Tracer)
 
 
 def estimate_size(obj: Any) -> int:
@@ -81,6 +83,10 @@ class _TaskOutcome:
     #: the task's trace span, attached to the phase span at the barrier
     #: (in task order) so trace shape never depends on thread scheduling.
     span: Optional[Span] = None
+    #: ``fault:*`` event spans accumulated by the recovery wrapper (crashed
+    #: attempts, retries, speculation); attached before the task span at
+    #: the barrier and stripped by the chaos harness's trace comparison.
+    fault_spans: List[Span] = field(default_factory=list)
 
     def stats(self, kind: str) -> TaskStats:
         return TaskStats(task_id=self.task_id, kind=kind,
@@ -94,10 +100,14 @@ class MapReduceEngine:
     """Runs :class:`~repro.mapreduce.job.Job` objects against an HDFS."""
 
     def __init__(self, fs: HDFS, execution: Optional[ExecutionConfig] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, faults=None):
         self.fs = fs
         self.execution = execution if execution is not None else SEQUENTIAL
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: optional :class:`repro.faults.FaultInjector`; when set, every
+        #: task runs under the bounded-retry/speculation wrapper
+        #: (:meth:`_run_attempts`).
+        self.faults = faults
         self.jobs_run = 0
         # Concurrent queries (the query service) may call run() from many
         # threads at once; the counter increment must not lose updates.
@@ -130,12 +140,16 @@ class MapReduceEngine:
 
         with self.tracer.span("map_phase", tasks=len(splits)) as map_span:
             map_outcomes = self._run_phase(
-                [lambda tid=task_id, s=split: self._map_task(job, tid, s)
+                [lambda tid=task_id, s=split: self._run_attempts(
+                    job, "map", tid,
+                    lambda attempt, crash, tid=tid, s=s:
+                        self._map_task(job, tid, s, attempt, crash))
                  for task_id, split in enumerate(splits)], workers)
 
             # Barrier: merge map outcomes in split order, so shuffle value
             # lists, counters and stats are identical for any worker count.
             for outcome in map_outcomes:
+                self._merge_fault_spans(map_span, outcome)
                 if outcome.span is not None:
                     map_span.attach(outcome.span)
                 stats.map_input_records += outcome.input_records
@@ -170,10 +184,14 @@ class MapReduceEngine:
 
         with self.tracer.span("reduce_phase") as reduce_span:
             reduce_outcomes = self._run_phase(
-                [lambda tid=task_id, b=bucket: self._reduce_task(job, tid, b)
+                [lambda tid=task_id, b=bucket: self._run_attempts(
+                    job, "reduce", tid,
+                    lambda attempt, crash, tid=tid, b=b:
+                        self._reduce_task(job, tid, b, attempt, crash))
                  for task_id, bucket in enumerate(shuffle)
                  if bucket or num_partitions == 1], workers)
             for outcome in reduce_outcomes:
+                self._merge_fault_spans(reduce_span, outcome)
                 if outcome.span is not None:
                     reduce_span.attach(outcome.span)
                 stats.reduce_tasks += 1
@@ -190,6 +208,115 @@ class MapReduceEngine:
         counters.set("job", "reduce_tasks", stats.reduce_tasks)
         return result
 
+    # -------------------------------------------------------------- recovery
+    @staticmethod
+    def _merge_fault_spans(phase_span: Span, outcome: _TaskOutcome) -> None:
+        """Attach a task's fault event spans (in the deterministic order
+        the recovery wrapper recorded them) and mirror each as a
+        ``fault.*`` counter on the phase span."""
+        for fault_span in outcome.fault_spans:
+            phase_span.attach(fault_span)
+            phase_span.add(FAULT_COUNTER_PREFIX
+                           + fault_span.name[len(FAULT_SPAN_PREFIX):])
+
+    def _run_attempts(self, job: Job, kind: str, task_id: int,
+                      run: Callable[[int, Optional[int]], _TaskOutcome]
+                      ) -> _TaskOutcome:
+        """Run one task under the fault plan: bounded retries with
+        simulated backoff, then (for map tasks) speculative execution.
+
+        ``run(attempt, crash_after)`` executes one attempt; the wrapper
+        asks the plan for each attempt's crash point and discards crashed
+        attempts entirely — their emits, counters and stats never reach
+        the barrier, so merged results are byte-identical to a fault-free
+        run.  A straggling map task gets a speculative duplicate whose
+        outcome wins (mappers are deterministic, so winner choice cannot
+        change results); if the duplicate itself crashes, the original
+        outcome stands.  Every fault and recovery is recorded in the
+        injector's registry and as ``fault:*`` event spans on the outcome.
+        """
+        faults = self.faults
+        if faults is None:
+            return run(0, None)
+        max_attempts = job.max_task_attempts \
+            if job.max_task_attempts is not None \
+            else faults.policy.max_task_attempts
+        traced = self.tracer.enabled
+        fault_spans: List[Span] = []
+
+        def note_crash(attempt: int, exc: TaskAttemptFailed,
+                       will_retry: bool) -> None:
+            records = getattr(exc, "records_read", 0)
+            faults.task_crashed(job.name, kind, task_id, attempt,
+                                records_read=records, will_retry=will_retry)
+            if traced:
+                fault_spans.append(Span(
+                    name=FAULT_SPAN_PREFIX + "task_crash",
+                    attrs={"task": task_id, "attempt": attempt,
+                           "records": records}))
+
+        attempt = 0
+        while True:
+            crash_after = faults.task_crash_point(job.name, kind, task_id,
+                                                  attempt)
+            try:
+                outcome = run(attempt, crash_after)
+                break
+            except TaskAttemptFailed as exc:
+                will_retry = attempt + 1 < max_attempts
+                note_crash(attempt, exc, will_retry)
+                if not will_retry:
+                    raise MapReduceError(
+                        f"job {job.name!r}: {kind} task {task_id} failed "
+                        f"permanently after {attempt + 1} attempts") from exc
+                attempt += 1
+        if attempt > 0:
+            faults.task_recovered(job.name, kind, task_id, attempt)
+            if traced:
+                fault_spans.append(Span(
+                    name=FAULT_SPAN_PREFIX + "task_retry",
+                    attrs={"task": task_id, "attempt": attempt}))
+
+        if kind == "map" and faults.is_straggler(job.name, kind, task_id):
+            faults.straggler_detected(job.name, kind, task_id)
+            if traced:
+                fault_spans.append(Span(
+                    name=FAULT_SPAN_PREFIX + "task_straggler",
+                    attrs={"task": task_id}))
+            spec_attempt = attempt + 1
+            crash_after = faults.task_crash_point(job.name, kind, task_id,
+                                                  spec_attempt)
+            try:
+                speculative = run(spec_attempt, crash_after)
+            except TaskAttemptFailed as exc:
+                # The duplicate died; the original outcome stands.
+                note_crash(spec_attempt, exc, will_retry=False)
+            else:
+                faults.speculative_won(job.name, kind, task_id, spec_attempt)
+                if traced:
+                    fault_spans.append(Span(
+                        name=FAULT_SPAN_PREFIX + "speculative_win",
+                        attrs={"task": task_id, "attempt": spec_attempt}))
+                outcome = speculative
+
+        outcome.fault_spans = fault_spans
+        return outcome
+
+    @staticmethod
+    def _maybe_crash(job: Job, kind: str, task_id: int, attempt: int,
+                     crash_after: Optional[int], records_read: int) -> None:
+        """Fire the injected crash once ``records_read`` reaches the
+        attempt's crash point (0 = at startup; None = the attempt is
+        clean).  The raised :class:`~repro.errors.TaskAttemptFailed`
+        carries ``records_read`` for the registry."""
+        if crash_after is None or records_read < crash_after:
+            return
+        exc = TaskAttemptFailed(
+            f"injected crash: job {job.name!r} {kind} task {task_id} "
+            f"attempt {attempt} after {records_read} records")
+        exc.records_read = records_read
+        raise exc
+
     # ----------------------------------------------------------------- tasks
     def _run_phase(self, thunks: List[Callable[[], _TaskOutcome]],
                    workers: int) -> List[_TaskOutcome]:
@@ -201,19 +328,24 @@ class MapReduceEngine:
             futures = [pool.submit(thunk) for thunk in thunks]
             return [future.result() for future in futures]
 
-    def _map_task(self, job: Job, task_id: int, split) -> _TaskOutcome:
+    def _map_task(self, job: Job, task_id: int, split, attempt: int = 0,
+                  crash_after: Optional[int] = None) -> _TaskOutcome:
         emits: List[Tuple[Any, Any]] = []
         counters = Counters()
         ctx = TaskContext(task_id, self.fs, counters,
-                          lambda k, v, buf=emits: buf.append((k, v)))
+                          lambda k, v, buf=emits: buf.append((k, v)),
+                          attempt=attempt)
         ctx.split = split
         outcome = _TaskOutcome(task_id=task_id, emits=emits,
                                counters=counters)
         with self.tracer.task_span("map", task=task_id) as span:
             with task_io_scope() as scope:
+                self._maybe_crash(job, "map", task_id, attempt, crash_after, 0)
                 for key, value in job.input_format.read_split(self.fs, split):
                     outcome.input_records += 1
                     job.mapper(key, value, ctx)
+                    self._maybe_crash(job, "map", task_id, attempt,
+                                      crash_after, outcome.input_records)
                 outcome.input_bytes = scope.captured(self.fs.io).bytes_read
             outcome.output_records = len(emits)
             if job.reducer is not None and job.combiner is not None:
@@ -226,15 +358,23 @@ class MapReduceEngine:
         return outcome
 
     def _reduce_task(self, job: Job, task_id: int,
-                     bucket: Dict[Any, List[Any]]) -> _TaskOutcome:
+                     bucket: Dict[Any, List[Any]], attempt: int = 0,
+                     crash_after: Optional[int] = None) -> _TaskOutcome:
         emits: List[Tuple[Any, Any]] = []
         counters = Counters()
         ctx = TaskContext(task_id, self.fs, counters,
-                          lambda k, v, buf=emits: buf.append((k, v)))
+                          lambda k, v, buf=emits: buf.append((k, v)),
+                          attempt=attempt)
         outcome = _TaskOutcome(task_id=task_id, emits=emits,
                                counters=counters)
         with self.tracer.task_span("reduce", task=task_id) as span:
             with task_io_scope() as scope:
+                # Reduce attempts only ever crash at startup — before
+                # ``reduce_setup`` acquires external resources (output
+                # writers), so a retried attempt never sees a half-written
+                # side effect.
+                self._maybe_crash(job, "reduce", task_id, attempt,
+                                  crash_after, 0)
                 if job.reduce_setup is not None:
                     job.reduce_setup(ctx)
                 try:

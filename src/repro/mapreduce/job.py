@@ -26,12 +26,16 @@ class TaskContext:
     """
 
     def __init__(self, task_id: int, fs, counters: Counters,
-                 emit_fn: Callable[[Any, Any], None]):
+                 emit_fn: Callable[[Any, Any], None], attempt: int = 0):
         self.task_id = task_id
         self.fs = fs
         self.counters = counters
         self._emit_fn = emit_fn
         self.state: Dict[str, Any] = {}
+        #: 0-based attempt number (> 0 only when fault injection crashed an
+        #: earlier attempt and the engine retried).  Informational: task
+        #: code must not branch on it, or attempts stop being equivalent.
+        self.attempt = attempt
 
     def emit(self, key: Any, value: Any) -> None:
         self._emit_fn(key, value)
@@ -64,12 +68,18 @@ class Job:
     partitioner: Optional[Callable[[Any], int]] = None
     #: per-job override of the engine's execution mode (None = engine's).
     execution: Optional[ExecutionConfig] = None
+    #: per-job override of the fault plan's retry budget (None = policy's
+    #: ``max_task_attempts``); lets tests pin a job to a single attempt.
+    max_task_attempts: Optional[int] = None
 
     def validate(self) -> None:
         if self.splits is None and not self.input_paths:
             raise MapReduceError(f"job {self.name!r}: no input")
         if self.num_reducers < 0:
             raise MapReduceError(f"job {self.name!r}: bad num_reducers")
+        if self.max_task_attempts is not None and self.max_task_attempts < 1:
+            raise MapReduceError(
+                f"job {self.name!r}: max_task_attempts must be >= 1")
         if self.reducer is None and (self.reduce_setup or self.reduce_cleanup):
             raise MapReduceError(
                 f"job {self.name!r}: reduce hooks without a reducer")

@@ -40,6 +40,15 @@ TRACE_SCHEMA = "dgf-repro/trace"
 #: bump on any incompatible change to the document layout.
 TRACE_VERSION = 1
 
+#: fault/recovery observability rides on the v1 schema instead of extending
+#: it: injected faults appear as ordinary child spans whose names start with
+#: this prefix (``fault:task_crash``, ``fault:replica_failover``, ...) and
+#: as counters starting with :data:`FAULT_COUNTER_PREFIX`.  Stripping both
+#: (:meth:`Trace.normalized` with ``strip_faults=True``) recovers the exact
+#: fault-free trace, which is how the chaos harness compares runs.
+FAULT_SPAN_PREFIX = "fault:"
+FAULT_COUNTER_PREFIX = "fault."
+
 Number = Union[int, float]
 
 
@@ -67,6 +76,16 @@ class Span:
     def attach(self, child: "Span") -> None:
         """Append a finished child span (the engine's barrier merge)."""
         self.children.append(child)
+
+    def event(self, name: str, **attrs: Any) -> "Span":
+        """Attach a zero-duration child span recording a point event.
+
+        Fault injections and recoveries use this with a ``fault:``-prefixed
+        name so the chaos harness can strip them back out.
+        """
+        child = Span(name=name, attrs=dict(attrs))
+        self.attach(child)
+        return child
 
     # ------------------------------------------------------------ inspection
     def child(self, name: str) -> Optional["Span"]:
@@ -153,6 +172,9 @@ class _NullSpan(Span):
 
     def attach(self, child: "Span") -> None:
         pass
+
+    def event(self, name: str, **attrs: Any) -> "Span":
+        return self
 
 
 NULL_SPAN = _NullSpan()
@@ -262,13 +284,18 @@ class Trace:
         validate_trace(data)
         return Trace(root=Span.from_dict(data["root"]))
 
-    def normalized(self) -> Dict[str, Any]:
+    def normalized(self, strip_faults: bool = False) -> Dict[str, Any]:
         """The trace document with every wall time zeroed.
 
         Wall durations depend on the host and thread scheduling; everything
         else (names, attributes, counters, simulated times, child order) is
         a pure function of the executed work, so the normalized document is
         byte-identical across ``max_workers`` settings.
+
+        With ``strip_faults=True`` the fault observability layer is removed
+        as well (``fault:*`` spans, ``fault.*`` counters), producing the
+        trace the same run would have emitted with no faults injected —
+        the "traces modulo fault spans" form the chaos harness compares.
         """
         def scrub(node: Dict[str, Any]) -> Dict[str, Any]:
             node = dict(node)
@@ -277,6 +304,8 @@ class Trace:
             return node
 
         data = self.to_dict()
+        if strip_faults:
+            data["root"] = strip_fault_data(data["root"])
         data["root"] = scrub(data["root"])
         return data
 
@@ -308,6 +337,24 @@ class Trace:
             extend = "   " if last else "|  "
             self._render(child, child_lead + branch, child_lead + extend,
                          lines, include_wall)
+
+
+# ----------------------------------------------------------- fault stripping
+def strip_fault_data(node: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of a span-document subtree without fault observability.
+
+    Drops every child span whose name starts with
+    :data:`FAULT_SPAN_PREFIX` and every counter whose name starts with
+    :data:`FAULT_COUNTER_PREFIX`, recursively.  Applied to a chaos run's
+    trace this recovers the byte-identical fault-free document, because
+    all fault/recovery reporting is confined to those two namespaces.
+    """
+    node = dict(node)
+    node["counters"] = {k: v for k, v in node["counters"].items()
+                        if not k.startswith(FAULT_COUNTER_PREFIX)}
+    node["children"] = [strip_fault_data(c) for c in node["children"]
+                        if not c["name"].startswith(FAULT_SPAN_PREFIX)]
+    return node
 
 
 # ------------------------------------------------------------------- schema

@@ -33,11 +33,13 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Sequence
 
-from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.errors import (ServiceClosedError, ServiceDegradedError,
+                          ServiceOverloadedError)
 from repro.hdfs.metrics import task_io_scope
 from repro.mapreduce.cluster import ExecutionConfig
 
@@ -58,6 +60,26 @@ class _Submission:
     enqueued_at: float
 
 
+@dataclass(frozen=True)
+class ServiceStatus:
+    """Partial-availability snapshot (:meth:`QueryService.status`).
+
+    ``state`` is ``"available"`` or ``"degraded"``; ``availability`` is
+    the fraction of recent statements that succeeded (1.0 until the
+    first statement finishes).
+    """
+
+    state: str
+    availability: float
+    window_ok: int
+    window_error: int
+    queue_depth: int
+
+    @property
+    def degraded(self) -> bool:
+        return self.state == "degraded"
+
+
 class QueryService:
     """Admits statements into a bounded queue and runs them on workers.
 
@@ -70,9 +92,16 @@ class QueryService:
     def __init__(self, session: "HiveSession",
                  max_workers: Optional[int] = None,
                  queue_depth: int = DEFAULT_QUEUE_DEPTH,
-                 execution: Optional[ExecutionConfig] = None):
+                 execution: Optional[ExecutionConfig] = None,
+                 degraded_error_window: int = 16,
+                 degraded_error_threshold: float = 0.5,
+                 shed_when_degraded: bool = False):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if degraded_error_window < 1:
+            raise ValueError("degraded_error_window must be >= 1")
+        if not 0.0 < degraded_error_threshold <= 1.0:
+            raise ValueError("degraded_error_threshold must be in (0, 1]")
         if max_workers is None:
             config = execution if execution is not None else ExecutionConfig()
             max_workers = config.worker_count()
@@ -81,6 +110,16 @@ class QueryService:
         self.session = session
         self.max_workers = max_workers
         self.queue_depth = queue_depth
+        #: degradation tracking: the service is "degraded" while the error
+        #: fraction over the last ``degraded_error_window`` finished
+        #: statements reaches ``degraded_error_threshold``.  With
+        #: ``shed_when_degraded`` a degraded service refuses new work with
+        #: :class:`~repro.errors.ServiceDegradedError` (a *transient*
+        #: error: the window recovers as healthy statements finish).
+        self.degraded_error_window = degraded_error_window
+        self.degraded_error_threshold = degraded_error_threshold
+        self.shed_when_degraded = shed_when_degraded
+        self._recent: "deque[bool]" = deque(maxlen=degraded_error_window)
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
         self._closed = False
         self._lock = threading.Lock()
@@ -111,6 +150,14 @@ class QueryService:
         """
         if self._closed:
             raise ServiceClosedError("query service is closed")
+        if self.shed_when_degraded and self.degraded:
+            self._metrics().counter(
+                "service_degraded_rejects_total",
+                "statements shed while the service was degraded").inc()
+            raise ServiceDegradedError(
+                f"service degraded: recent error rate reached "
+                f"{self.degraded_error_threshold:.0%}; retry after the "
+                "window recovers")
         item = _Submission(sql=sql, options=options, future=Future(),
                            enqueued_at=time.perf_counter())
         try:
@@ -179,6 +226,40 @@ class QueryService:
         self._metrics().counter(
             "service_queries_total",
             "statements finished by the query service").inc(status=status)
+        if status in ("ok", "error"):
+            with self._lock:
+                self._recent.append(status == "ok")
+            self._metrics().gauge(
+                "service_availability",
+                "fraction of recently finished statements that "
+                "succeeded").set(self._availability())
+
+    # ---------------------------------------------------------- degradation
+    def _availability(self) -> float:
+        with self._lock:
+            if not self._recent:
+                return 1.0
+            return sum(self._recent) / len(self._recent)
+
+    @property
+    def degraded(self) -> bool:
+        """True while the recent error fraction reaches the threshold."""
+        return (1.0 - self._availability()) >= self.degraded_error_threshold
+
+    def status(self) -> ServiceStatus:
+        """Snapshot of the service's partial availability."""
+        with self._lock:
+            recent = list(self._recent)
+        ok = sum(recent)
+        total = len(recent)
+        availability = ok / total if total else 1.0
+        degraded = (1.0 - availability) >= self.degraded_error_threshold
+        return ServiceStatus(
+            state="degraded" if degraded else "available",
+            availability=availability,
+            window_ok=ok,
+            window_error=total - ok,
+            queue_depth=self._queue.qsize())
 
     # ------------------------------------------------------------ lifecycle
     @property

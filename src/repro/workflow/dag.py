@@ -39,6 +39,9 @@ class Action:
     name: str
     payload: Any
     after: Sequence[str] = ()
+    #: total attempts before the action counts as FAILED (bounded retry
+    #: for transient mid-DAG failures; 1 = no retry).
+    max_attempts: int = 1
 
     def is_hiveql(self) -> bool:
         return isinstance(self.payload, str)
@@ -50,6 +53,8 @@ class ActionResult:
     status: ActionStatus
     result: Any = None
     error: Optional[str] = None
+    #: attempts actually executed (0 for SKIPPED actions).
+    attempts: int = 0
 
 
 @dataclass
@@ -81,18 +86,24 @@ class Workflow:
 
     # ------------------------------------------------------------ definition
     def add(self, name: str, payload: Any,
-            after: Sequence[str] = ()) -> "Workflow":
+            after: Sequence[str] = (),
+            max_attempts: int = 1) -> "Workflow":
         """Add an action; returns self so definitions chain."""
         if name in self._actions:
             raise WorkflowError(
                 f"workflow {self.name!r}: duplicate action {name!r}")
+        if max_attempts < 1:
+            raise WorkflowError(
+                f"workflow {self.name!r}: action {name!r} max_attempts "
+                "must be >= 1")
         for dep in after:
             if dep not in self._actions:
                 raise WorkflowError(
                     f"workflow {self.name!r}: action {name!r} depends on "
                     f"unknown action {dep!r} (define dependencies first)")
         self._actions[name] = Action(name=name, payload=payload,
-                                     after=tuple(after))
+                                     after=tuple(after),
+                                     max_attempts=max_attempts)
         self._order.append(name)
         return self
 
@@ -148,23 +159,35 @@ class Workflow:
                 for dep in action.after)
             if failed_dep:
                 run.results[name] = ActionResult(
-                    name=name, status=ActionStatus.SKIPPED)
+                    name=name, status=ActionStatus.SKIPPED, attempts=0)
                 continue
-            try:
-                if action.is_hiveql():
-                    if session is None:
-                        raise WorkflowError(
-                            f"action {name!r} is HiveQL but the workflow "
-                            "was run without a session")
-                    result = session.execute(action.payload)
-                else:
-                    result = action.payload(context)
+            # Bounded retry: each attempt is a fresh execution of the
+            # payload; the action fails only when every attempt raised
+            # (and its failure still only SKIPs downstream actions — a
+            # mid-DAG failure never strands the rest of the run).
+            attempts = 0
+            error: Optional[str] = None
+            while attempts < action.max_attempts:
+                attempts += 1
+                try:
+                    if action.is_hiveql():
+                        if session is None:
+                            raise WorkflowError(
+                                f"action {name!r} is HiveQL but the workflow "
+                                "was run without a session")
+                        result = session.execute(action.payload)
+                    else:
+                        result = action.payload(context)
+                except Exception as exc:  # noqa: BLE001 - report, don't hide
+                    error = f"{type(exc).__name__}: {exc}"
+                    continue
                 context["results"][name] = result
                 run.results[name] = ActionResult(
                     name=name, status=ActionStatus.SUCCEEDED,
-                    result=result)
-            except Exception as error:  # noqa: BLE001 - report, don't hide
+                    result=result, attempts=attempts)
+                break
+            else:
                 run.results[name] = ActionResult(
                     name=name, status=ActionStatus.FAILED,
-                    error=f"{type(error).__name__}: {error}")
+                    error=error, attempts=attempts)
         return run

@@ -157,10 +157,19 @@ class Workload:
 
 def run_workload(workload: Workload,
                  execution: Optional[ExecutionConfig] = None,
-                 cache: Union[None, bool, GfuMetadataCache] = None
-                 ) -> Dict[str, Any]:
-    """Build a fresh session, replay the workload, return its fingerprint."""
-    session = HiveSession(num_datanodes=4, execution=execution, cache=cache)
+                 cache: Union[None, bool, GfuMetadataCache] = None,
+                 faults: Any = None) -> Dict[str, Any]:
+    """Build a fresh session, replay the workload, return its fingerprint.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan` or prebuilt
+    :class:`~repro.faults.FaultInjector`) arms fault injection for the
+    whole replay; the plan's dead datanodes are killed *after* the data
+    and index are in place — so their blocks carry replicas and the query
+    phase genuinely exercises replica failover — and before the first
+    query runs (a deterministic point, the same for every worker count).
+    """
+    session = HiveSession(num_datanodes=4, execution=execution, cache=cache,
+                          faults=faults)
     session.fs.block_size = workload.block_size
     session.execute(workload.ddl)
     rows = list(workload.rows)
@@ -197,6 +206,8 @@ def run_workload(workload: Workload,
             "stats": asdict(report.job_stats),
             "details": dict(report.details),
         }
+    if session.fault_injector is not None:
+        session.fault_injector.activate_datanode_faults(session.fs)
     for position, (sql, options) in enumerate(workload.queries):
         result = session.execute(sql, options)
         fingerprint[f"query:{position}"] = query_fingerprint(result)

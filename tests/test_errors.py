@@ -1,0 +1,58 @@
+"""The error-hierarchy contract: most specific subclass, transient axis.
+
+The module docstring of :mod:`repro.errors` *is* the documented contract
+(doctested here); the explicit assertions below pin the full transient
+branch so a new error class cannot silently drop its marker.
+"""
+
+import doctest
+
+import repro.errors as errors
+from repro.errors import (DataNodeUnavailable, HDFSError, KVStoreError,
+                          KVStoreTimeout, MapReduceError, ReproError,
+                          ServiceDegradedError, ServiceError,
+                          TaskAttemptFailed, TransientError)
+
+TRANSIENT = (DataNodeUnavailable, TaskAttemptFailed, KVStoreTimeout,
+             ServiceDegradedError)
+
+SUBSYSTEM_BASE = {
+    DataNodeUnavailable: HDFSError,
+    TaskAttemptFailed: MapReduceError,
+    KVStoreTimeout: KVStoreError,
+    ServiceDegradedError: ServiceError,
+}
+
+
+def test_module_doctests():
+    results = doctest.testmod(errors)
+    assert results.failed == 0
+    assert results.attempted >= 7, "the documented contract lost examples"
+
+
+def test_transient_errors_carry_both_bases():
+    for cls in TRANSIENT:
+        assert issubclass(cls, TransientError), cls
+        assert issubclass(cls, SUBSYSTEM_BASE[cls]), cls
+        assert issubclass(cls, ReproError), cls
+
+
+def test_catching_transient_catches_every_recoverable_fault():
+    for cls in TRANSIENT:
+        try:
+            raise cls("injected")
+        except TransientError as exc:
+            assert isinstance(exc, cls)
+
+
+def test_permanent_errors_are_not_transient():
+    transient_names = {cls.__name__ for cls in TRANSIENT}
+    transient_names.add("TransientError")
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if not (isinstance(obj, type) and issubclass(obj, ReproError)):
+            continue
+        if name in transient_names:
+            continue
+        assert not issubclass(obj, TransientError), \
+            f"{name} unexpectedly carries the transient marker"

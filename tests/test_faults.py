@@ -1,0 +1,177 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import pytest
+
+from repro.errors import KVStoreTimeout, TransientError
+from repro.faults import (DATANODE_DEAD, KV_RETRY, KV_TIMEOUT,
+                          REPLICA_FAILOVER, SPECULATIVE_WIN, TASK_CRASH,
+                          TASK_RETRY, TASK_STRAGGLER, FaultInjector,
+                          FaultPlan, FaultRegistry, FaultSpec, RetryPolicy)
+from repro.mapreduce.cluster import PAPER_CLUSTER
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRetryPolicy:
+    def test_defaults(self):
+        policy = RetryPolicy()
+        assert policy.max_task_attempts == 4
+        assert policy.max_kv_attempts == 3
+        assert policy.speculative_execution
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(backoff_base_seconds=1.0, backoff_factor=2.0)
+        assert policy.backoff_seconds(1) == 1.0
+        assert policy.backoff_seconds(2) == 2.0
+        assert policy.backoff_seconds(3) == 4.0
+        assert policy.backoff_seconds(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_task_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_kv_attempts=0)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(task_crash_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(kv_timeout_rate=-0.1)
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(seed=3, task_crash_rate=0.5,
+                         task_straggler_rate=0.5, kv_timeout_rate=0.5)
+        for _ in range(3):
+            crashes = [plan.task_crash_point("job", "map", t, 0)
+                       for t in range(50)]
+            assert crashes == [plan.task_crash_point("job", "map", t, 0)
+                               for t in range(50)]
+            stragglers = [plan.is_straggler("job", "map", t)
+                          for t in range(50)]
+            assert stragglers == [plan.is_straggler("job", "map", t)
+                                  for t in range(50)]
+            timeouts = [plan.kv_times_out("get", f"k{i}", 0)
+                        for i in range(50)]
+            assert timeouts == [plan.kv_times_out("get", f"k{i}", 0)
+                                for i in range(50)]
+        # rates around 0.5 must actually produce both outcomes
+        assert any(c is not None for c in crashes)
+        assert any(c is None for c in crashes)
+        assert any(stragglers) and not all(stragglers)
+        assert any(timeouts) and not all(timeouts)
+
+    def test_seed_changes_decisions(self):
+        base = FaultPlan(seed=0, task_crash_rate=0.5)
+        other = base.with_seed(99)
+        decisions = lambda plan: [  # noqa: E731 - tiny local helper
+            plan.task_crash_point("job", "map", t, 0) for t in range(64)]
+        assert decisions(base) == decisions(base)
+        assert decisions(base) != decisions(other)
+
+    def test_probabilistic_faults_hit_first_attempt_only(self):
+        plan = FaultPlan(seed=1, task_crash_rate=1.0, kv_timeout_rate=1.0)
+        assert plan.task_crash_point("j", "map", 0, 0) is not None
+        assert plan.task_crash_point("j", "map", 0, 1) is None
+        assert plan.kv_times_out("get", "k", 0)
+        assert not plan.kv_times_out("get", "k", 1)
+
+    def test_reduce_crashes_only_at_startup(self):
+        plan = FaultPlan(seed=2, task_crash_rate=1.0)
+        for task in range(20):
+            assert plan.task_crash_point("j", "reduce", task, 0) == 0
+
+    def test_stragglers_are_map_only(self):
+        plan = FaultPlan(seed=2, task_straggler_rate=1.0)
+        assert plan.is_straggler("j", "map", 0)
+        assert not plan.is_straggler("j", "reduce", 0)
+
+    def test_scheduled_spec_matching(self):
+        spec = FaultSpec(kind=TASK_CRASH, job="build", task_kind="map",
+                        task_id=1, attempt=0, times=2)
+        assert spec.matches_task(TASK_CRASH, "dgf-build", "map", 1, 0)
+        assert spec.matches_task(TASK_CRASH, "dgf-build", "map", 1, 1)
+        assert not spec.matches_task(TASK_CRASH, "dgf-build", "map", 1, 2)
+        assert not spec.matches_task(TASK_CRASH, "dgf-build", "map", 2, 0)
+        assert not spec.matches_task(TASK_CRASH, "other", "map", 1, 0)
+        assert not spec.matches_task(TASK_STRAGGLER, "dgf-build", "map", 1, 0)
+
+    def test_scheduled_kv_spec(self):
+        spec = FaultSpec(kind=KV_TIMEOUT, op="get", key="k1")
+        plan = FaultPlan(scheduled=(spec,))
+        assert plan.kv_times_out("get", "k1", 0)
+        assert not plan.kv_times_out("get", "k2", 0)
+        assert not plan.kv_times_out("put", "k1", 0)
+
+    def test_spec_kind_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="meteor_strike")
+
+
+class TestFaultRegistry:
+    def test_counts_and_events(self):
+        registry = FaultRegistry()
+        registry.record_fault(TASK_CRASH, "j/map[0]", attempt=0)
+        registry.record_fault(KV_TIMEOUT, "get:k")
+        registry.record_recovery(TASK_RETRY, "j/map[0]", attempt=1)
+        assert registry.injected_counts() == {TASK_CRASH: 1, KV_TIMEOUT: 1}
+        assert registry.recovery_counts() == {TASK_RETRY: 1}
+        assert registry.total_injected() == 2
+        assert registry.total_recovered() == 1
+        assert len(registry.events_of(TASK_CRASH)) == 1
+        assert registry.summary() == {
+            "injected": {TASK_CRASH: 1, KV_TIMEOUT: 1},
+            "recovered": {TASK_RETRY: 1}}
+
+    def test_metrics_mirroring(self):
+        metrics = MetricsRegistry()
+        registry = FaultRegistry(metrics=metrics)
+        registry.record_fault(DATANODE_DEAD, "datanode-1")
+        registry.record_recovery(REPLICA_FAILOVER, "block-0")
+        assert metrics.counter("faults_injected_total", "").value(
+            kind=DATANODE_DEAD) == 1
+        assert metrics.counter("fault_recoveries_total", "").value(
+            kind=REPLICA_FAILOVER) == 1
+
+    def test_recovery_overhead_ledger(self):
+        registry = FaultRegistry()
+        registry.add_backoff(3.0)
+        registry.record_recovery(TASK_RETRY, "j/map[0]", attempt=1)
+        registry.record_recovery(SPECULATIVE_WIN, "j/map[1]", attempt=1)
+        registry.record_recovery(KV_RETRY, "get:k", attempt=1)
+        assert registry.reexecuted_tasks == 2
+        overhead = registry.recovery_overhead_seconds(PAPER_CLUSTER)
+        expected = (3.0 + 2 * PAPER_CLUSTER.task_startup_seconds
+                    + PAPER_CLUSTER.kv_get_seconds)
+        assert overhead == pytest.approx(expected)
+
+
+class TestFaultInjector:
+    def test_kv_gate_recovers_within_budget(self):
+        plan = FaultPlan(scheduled=(
+            FaultSpec(kind=KV_TIMEOUT, op="get", key="k", times=2),),
+            policy=RetryPolicy(max_kv_attempts=3))
+        injector = FaultInjector(plan)
+        assert injector.kv_gate("get", "k") == 2
+        counts = injector.registry.injected_counts()
+        assert counts[KV_TIMEOUT] == 2
+        assert injector.registry.recovery_counts()[KV_RETRY] == 1
+        # backoff for retries 1 and 2: 1s + 2s
+        assert injector.registry.backoff_seconds == pytest.approx(3.0)
+
+    def test_kv_gate_exhaustion_raises_transient(self):
+        plan = FaultPlan(scheduled=(
+            FaultSpec(kind=KV_TIMEOUT, op="get", key="k", times=5),),
+            policy=RetryPolicy(max_kv_attempts=3))
+        injector = FaultInjector(plan)
+        with pytest.raises(KVStoreTimeout) as excinfo:
+            injector.kv_gate("get", "k")
+        assert isinstance(excinfo.value, TransientError)
+        assert injector.registry.injected_counts()[KV_TIMEOUT] == 3
+        assert KV_RETRY not in injector.registry.recovery_counts()
+
+    def test_speculation_respects_policy_switch(self):
+        plan = FaultPlan(seed=0, task_straggler_rate=1.0,
+                         policy=RetryPolicy(speculative_execution=False))
+        injector = FaultInjector(plan)
+        assert not injector.is_straggler("j", "map", 0)

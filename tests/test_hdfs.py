@@ -1,10 +1,12 @@
 """Tests for the simulated HDFS: namespace, blocks, I/O accounting."""
 
+import warnings
+
 import pytest
 
 from repro.errors import (FileAlreadyExists, FileNotFoundInHDFS,
                           HDFSError, IsADirectory, NotADirectory)
-from repro.hdfs.filesystem import HDFS
+from repro.hdfs.filesystem import HDFS, ReplicationClampWarning
 from repro.hdfs.namenode import METADATA_BYTES_PER_OBJECT, NameNode
 
 
@@ -201,8 +203,11 @@ class TestHDFS:
             HDFS(num_datanodes=0)
 
     def test_replication_capped_by_datanodes(self):
-        fs = HDFS(num_datanodes=1, replication=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ReplicationClampWarning)
+            fs = HDFS(num_datanodes=1, replication=3)
         assert fs.replication == 1
+        assert fs.replication_requested == 3
 
 
 class TestIOStatsTaskScopes:
@@ -294,3 +299,114 @@ class TestIOStatsTaskScopes:
             t.join()
         assert captured == {"a": 1000, "b": 3000}
         assert fs.io.bytes_read == before.bytes_read + 4000
+
+
+
+class TestReplicationClamp:
+    """Regression tests for the once-silent replication clamp: the
+    requested factor is now recorded, reported, and warned about once."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self):
+        from repro.hdfs import filesystem
+        saved = filesystem._clamp_warned
+        filesystem._clamp_warned = False
+        yield
+        filesystem._clamp_warned = saved
+
+    @staticmethod
+    def _clamp_warnings(records):
+        from repro.hdfs.filesystem import ReplicationClampWarning
+        return [w for w in records
+                if issubclass(w.category, ReplicationClampWarning)]
+
+    def test_clamp_records_requested_vs_effective(self):
+        from repro.hdfs.filesystem import ReplicationClampWarning
+        with pytest.warns(ReplicationClampWarning, match="clamped to 1"):
+            fs = HDFS(num_datanodes=1, replication=2)
+        assert fs.replication_requested == 2
+        assert fs.replication == 1
+        report = fs.replication_report()
+        assert report["requested"] == 2
+        assert report["effective"] == 1
+
+    def test_clamp_warns_only_once_per_process(self):
+        import warnings as warnings_module
+        from repro.hdfs.filesystem import ReplicationClampWarning
+        with pytest.warns(ReplicationClampWarning):
+            HDFS(num_datanodes=1, replication=2)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            fs = HDFS(num_datanodes=2, replication=5)  # clamped, silent
+        assert self._clamp_warnings(caught) == []
+        # ...but the clamp is still recorded on the instance
+        assert fs.replication_requested == 5
+        assert fs.replication == 2
+
+    def test_unclamped_replication_never_warns(self):
+        import warnings as warnings_module
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            fs = HDFS(num_datanodes=3, replication=2)
+        assert self._clamp_warnings(caught) == []
+        assert fs.replication_requested == fs.replication == 2
+
+    def test_replication_report_counts_block_health(self):
+        fs = HDFS(num_datanodes=3, replication=2, block_size=256)
+        fs.write_bytes("/f", b"x" * 1000)  # 4 blocks, 2 replicas each
+        report = fs.replication_report()
+        assert report == {"requested": 2, "effective": 2, "blocks": 4,
+                          "under_replicated": 0, "unavailable": 0}
+        fs.kill_datanode(0)
+        degraded = fs.replication_report()
+        assert degraded["blocks"] == 4
+        assert degraded["under_replicated"] > 0
+        assert degraded["unavailable"] == 0  # the second replica is live
+        assert fs.read_bytes("/f") == b"x" * 1000  # reads fail over
+
+
+class TestDataNodeFailover:
+    """Dead datanodes: reads fail over to live replicas; a block with no
+    live replica surfaces the transient DataNodeUnavailable."""
+
+    def test_read_fails_over_past_dead_primary(self):
+        fs = HDFS(num_datanodes=3, replication=2, block_size=256)
+        fs.write_bytes("/f", b"y" * 600)
+        primary = fs.status("/f").blocks[0].datanodes[0]
+        fs.kill_datanode(primary)
+        assert fs.read_bytes("/f") == b"y" * 600
+        assert primary not in fs.live_datanodes()
+
+    def test_all_replicas_dead_raises_transient(self):
+        from repro.errors import DataNodeUnavailable, TransientError
+        fs = HDFS(num_datanodes=2, replication=1)
+        fs.write_bytes("/f", b"z" * 100)
+        for node_id in fs.status("/f").blocks[0].datanodes:
+            fs.kill_datanode(node_id)
+        with pytest.raises(DataNodeUnavailable) as excinfo:
+            fs.read_bytes("/f")
+        assert isinstance(excinfo.value, TransientError)
+
+    def test_revive_restores_reads(self):
+        fs = HDFS(num_datanodes=2, replication=1)
+        fs.write_bytes("/f", b"w" * 100)
+        node = fs.status("/f").blocks[0].datanodes[0]
+        fs.kill_datanode(node)
+        fs.revive_datanode(node)
+        assert fs.read_bytes("/f") == b"w" * 100
+        assert sorted(fs.live_datanodes()) == [0, 1]
+
+    def test_writes_avoid_dead_datanodes(self):
+        fs = HDFS(num_datanodes=3, replication=2, block_size=256)
+        fs.kill_datanode(1)
+        fs.write_bytes("/f", b"q" * 600)
+        for block in fs.status("/f").blocks:
+            assert 1 not in block.datanodes
+            assert len(block.datanodes) == 2
+
+    def test_no_live_datanode_fails_writes(self):
+        from repro.errors import DataNodeUnavailable
+        fs = HDFS(num_datanodes=1, replication=1)
+        fs.kill_datanode(0)
+        with pytest.raises(DataNodeUnavailable):
+            fs.write_bytes("/f", b"a")

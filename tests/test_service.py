@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.errors import (SemanticError, ServiceClosedError,
-                          ServiceOverloadedError)
+                          ServiceDegradedError, ServiceOverloadedError)
 from repro.hive.session import QueryOptions
 from repro.service import QueryService
 
@@ -165,3 +165,94 @@ class TestObservability:
             assert service.max_workers == 3
         finally:
             service.close()
+
+
+BAD_SQL = "SELECT no_such_column FROM meterdata"
+
+
+class TestDegradation:
+    """Graceful degradation: partial-availability status, the degraded
+    flag over the recent-error window, and optional load shedding."""
+
+    def test_fresh_service_is_fully_available(self):
+        service = QueryService(_dgf_session(), max_workers=1)
+        try:
+            status = service.status()
+            assert status.state == "available"
+            assert not status.degraded
+            assert status.availability == 1.0
+            assert status.window_ok == status.window_error == 0
+        finally:
+            service.close()
+
+    def test_error_rate_degrades_then_recovers(self):
+        service = QueryService(_dgf_session(), max_workers=1,
+                               degraded_error_window=4,
+                               degraded_error_threshold=0.5)
+        try:
+            with pytest.raises(SemanticError):
+                service.execute(BAD_SQL)
+            with pytest.raises(SemanticError):
+                service.execute(BAD_SQL)
+            status = service.status()
+            assert status.degraded and status.state == "degraded"
+            assert status.availability == 0.0
+            assert status.window_error == 2
+            # successes refill the window and clear the flag
+            for _ in range(4):
+                service.execute(MDRQ)
+            status = service.status()
+            assert not status.degraded
+            assert status.availability == 1.0
+            assert status.window_ok == 4
+        finally:
+            service.close()
+
+    def test_shedding_rejects_with_transient_degraded_error(self):
+        from repro.errors import TransientError
+        session = _dgf_session()
+        service = QueryService(session, max_workers=1,
+                               degraded_error_window=2,
+                               degraded_error_threshold=0.5,
+                               shed_when_degraded=True)
+        try:
+            with pytest.raises(SemanticError):
+                service.execute(BAD_SQL)
+            assert service.degraded
+            with pytest.raises(ServiceDegradedError) as excinfo:
+                service.submit(MDRQ)
+            assert isinstance(excinfo.value, TransientError)
+            rejects = session.metrics.counter(
+                "service_degraded_rejects_total")
+            assert rejects.value() == 1
+            # an operator can stop shedding; served work then recovers
+            service.shed_when_degraded = False
+            service.execute(MDRQ)
+            service.execute(MDRQ)
+            assert not service.degraded
+        finally:
+            service.close()
+
+    def test_availability_gauge_tracks_window(self):
+        session = _dgf_session()
+        service = QueryService(session, max_workers=1,
+                               degraded_error_window=8)
+        try:
+            service.execute(MDRQ)
+            with pytest.raises(SemanticError):
+                service.execute(BAD_SQL)
+            service.execute(MDRQ)
+            gauge = session.metrics.gauge("service_availability")
+            assert gauge.value() == pytest.approx(2 / 3)
+            assert service.status().availability == pytest.approx(2 / 3)
+        finally:
+            service.close()
+
+    def test_degradation_config_validated(self):
+        session = _dgf_session()
+        with pytest.raises(ValueError):
+            QueryService(session, degraded_error_window=0)
+        with pytest.raises(ValueError):
+            QueryService(session, degraded_error_threshold=0.0)
+        with pytest.raises(ValueError):
+            QueryService(session, degraded_error_threshold=1.5)

@@ -158,3 +158,114 @@ class TestCoordinator:
         assert all(record.run.succeeded for record in runs)
         final = runs[-1].run.result_of("totals")
         assert sum(v for _r, v in final.rows) == 90.0
+
+
+class TestWorkflowFailureRecovery:
+    """Failure paths: bounded retries, mid-DAG crashes, coordinator
+    resilience (the workflow side of the fault-tolerance subsystem)."""
+
+    def test_retry_recovers_a_transient_action(self):
+        calls = []
+
+        def flaky(ctx):
+            calls.append(len(calls))
+            if len(calls) < 3:
+                raise TimeoutError("transient")
+            return "ok"
+
+        workflow = (Workflow("w")
+                    .add("flaky", flaky, max_attempts=3)
+                    .add("child", lambda ctx: ctx["results"]["flaky"],
+                         after=["flaky"]))
+        run = workflow.run()
+        assert run.succeeded
+        # exactly one execution per attempt, no extra re-runs
+        assert calls == [0, 1, 2]
+        assert run.results["flaky"].attempts == 3
+        assert run.result_of("child") == "ok"
+
+    def test_retry_exhaustion_records_attempts_and_last_error(self):
+        calls = []
+
+        def doomed(ctx):
+            calls.append(len(calls))
+            raise ValueError(f"boom {len(calls)}")
+
+        workflow = (Workflow("w")
+                    .add("doomed", doomed, max_attempts=2)
+                    .add("child", lambda ctx: 1, after=["doomed"])
+                    .add("independent", lambda ctx: 2))
+        run = workflow.run()
+        assert not run.succeeded
+        assert calls == [0, 1]
+        result = run.results["doomed"]
+        assert result.status is ActionStatus.FAILED
+        assert result.attempts == 2
+        assert "boom 2" in result.error  # the *last* attempt's error
+        # the failure skips downstream but never strands the rest of the DAG
+        assert run.status_of("child") is ActionStatus.SKIPPED
+        assert run.status_of("independent") is ActionStatus.SUCCEEDED
+
+    def test_skipped_actions_report_zero_attempts(self):
+        def boom(ctx):
+            raise RuntimeError("nope")
+
+        workflow = (Workflow("w")
+                    .add("bad", boom)
+                    .add("child", lambda ctx: 1, after=["bad"]))
+        run = workflow.run()
+        assert run.results["bad"].attempts == 1
+        assert run.results["child"].attempts == 0
+
+    def test_single_attempt_actions_never_retry(self):
+        calls = []
+
+        def boom(ctx):
+            calls.append(1)
+            raise RuntimeError("nope")
+
+        run = Workflow("w").add("bad", boom).run()
+        assert len(calls) == 1
+        assert run.results["bad"].attempts == 1
+
+    def test_mid_dag_failure_does_not_strand_later_fires(self):
+        """A workflow whose action raises on one fire must leave the
+        coordinator able to fire the same workflow again on schedule."""
+        state = {"fires": 0}
+
+        def sometimes(ctx):
+            state["fires"] += 1
+            if state["fires"] == 2:
+                raise ValueError("bad day")
+            return state["fires"]
+
+        workflow = (Workflow("daily")
+                    .add("etl", sometimes)
+                    .add("report",
+                         lambda ctx: ctx["results"]["etl"] * 10,
+                         after=["etl"]))
+        coordinator = Coordinator()
+        coordinator.schedule(workflow, period=10.0)
+        coordinator.advance_to(30.0)  # fires at t=0, 10, 20, 30
+        runs = coordinator.runs_of("daily")
+        assert len(runs) == 4
+        assert state["fires"] == 4
+        statuses = [record.run.status_of("report") for record in runs]
+        assert statuses == [ActionStatus.SUCCEEDED, ActionStatus.SKIPPED,
+                            ActionStatus.SUCCEEDED, ActionStatus.SUCCEEDED]
+        assert runs[1].run.status_of("etl") is ActionStatus.FAILED
+
+    def test_retried_hiveql_action_runs_once_per_attempt(self):
+        session = make_session()
+        session.execute(METER_DDL)
+        session.load_rows("meterdata", meter_rows(num_users=5, num_days=1))
+        # a bad statement first (parse error), retried -> still fails, but
+        # the failure is contained and the count query still runs
+        workflow = (Workflow("w")
+                    .add_hiveql("bad", "SELEKT broken")
+                    .add_hiveql("count", "SELECT count(*) FROM meterdata"))
+        workflow._actions["bad"].max_attempts = 2
+        run = workflow.run(session)
+        assert run.results["bad"].status is ActionStatus.FAILED
+        assert run.results["bad"].attempts == 2
+        assert run.result_of("count").scalar() == 5
