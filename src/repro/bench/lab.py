@@ -254,9 +254,19 @@ class TpchLab:
         self._dgf: Optional[HiveSession] = None
         self._compact: Optional[HiveSession] = None
 
-    def _new_session(self) -> HiveSession:
-        session = HiveSession(data_scale=self.data_scale)
+    def _new_session(self, execution=None) -> HiveSession:
+        session = HiveSession(data_scale=self.data_scale,
+                              execution=execution)
         session.fs.block_size = self.config.block_bytes
+        return session
+
+    def session_with_execution(self, execution=None) -> HiveSession:
+        """A fresh, *uncached* TEXTFILE session on the given
+        :class:`~repro.mapreduce.cluster.ExecutionConfig` — used by the
+        vectorized-speedup benchmark to compare engine modes on equal
+        data (mirrors :meth:`MeterLab.session_with_execution`)."""
+        session = self._new_session(execution)
+        self._load(session, "TEXTFILE")
         return session
 
     def _load(self, session: HiveSession, stored_as: str) -> None:

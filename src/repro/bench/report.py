@@ -72,6 +72,8 @@ def run_all(meter_config: Optional[MeterLabConfig] = None,
         ("Ablation: parallel engine speedup",
          lambda: exps.parallel_speedup(lab)),
         ("Ablation: policy advisor", lambda: exps.ablation_advisor(lab)),
+        ("Ablation: vectorized engine speedup",
+         lambda: exps.vectorized_speedup(lab, tpch)),
         ("Ablation: base formats", lambda: exps.ablation_formats(lab)),
         ("Partition explosion", lambda: exps.partition_explosion()),
     ]

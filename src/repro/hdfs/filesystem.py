@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import threading
 import warnings
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -192,7 +193,6 @@ class HDFS:
         #: optional :class:`repro.faults.FaultInjector`; records datanode
         #: deaths and replica failovers when set.
         self.faults = None
-        self._placement_cursor = 0
         self._mutate_lock = threading.RLock()
 
     # ------------------------------------------------------------- namespace
@@ -288,26 +288,31 @@ class HDFS:
                 "unavailable": unavailable}
 
     # ---------------------------------------------------------------- blocks
-    def _pick_datanodes(self) -> List[int]:
+    def _pick_datanodes(self, node: INode) -> List[int]:
         n = len(self.datanodes)
-        # Scan from the cursor, skipping dead nodes, so the write pipeline
-        # only targets live replicas; the cursor itself advances by one per
-        # block regardless of liveness, keeping placement deterministic.
+        # Placement is a pure function of (file name, block ordinal), not a
+        # shared round-robin cursor: concurrent writers (parallel reduce
+        # tasks flushing output blocks) would otherwise interleave cursor
+        # advances nondeterministically, making which blocks land on a
+        # soon-to-die datanode — and therefore later failover counts —
+        # vary run to run.  Scanning from the derived start still skips
+        # dead nodes so the write pipeline only targets live replicas,
+        # and consecutive blocks of one file still rotate across nodes.
+        start = (zlib.crc32(node.name.encode()) + len(node.blocks)) % n
         picked: List[int] = []
         for i in range(n):
-            node_id = (self._placement_cursor + i) % n
+            node_id = (start + i) % n
             if self.datanodes[node_id].alive:
                 picked.append(node_id)
                 if len(picked) == self.replication:
                     break
         if not picked:
             raise DataNodeUnavailable("no live datanode to place a block on")
-        self._placement_cursor = (self._placement_cursor + 1) % n
         return picked
 
     def _flush_block(self, node: INode, data: bytes) -> None:
         with self._mutate_lock:
-            locations = self._pick_datanodes()
+            locations = self._pick_datanodes(node)
             block = self.namenode.allocate_block(node, len(data), locations)
             for node_id in locations:
                 self.datanodes[node_id].store(block.block_id, data)

@@ -273,8 +273,14 @@ def _referenced_columns(stmt: ast.SelectStmt, items: List[ast.SelectItem],
 # --------------------------------------------------------------------- jobs
 def build_job(analysis: AnalyzedSelect, splits: List[FileSplit],
               input_format: InputFormat, job_name: str,
-              num_group_reducers: int = 8) -> Job:
-    """Assemble the MapReduce job implementing the analysed SELECT."""
+              num_group_reducers: int = 8, vector_plan=None) -> Job:
+    """Assemble the MapReduce job implementing the analysed SELECT.
+
+    ``vector_plan`` (a :class:`repro.vector.plan.VectorSelectPlan`) makes
+    the engine run map tasks columnar; the row mapper built here remains
+    the job's reference implementation and still serves crash-injected
+    attempts.
+    """
     probe_filter = analysis.probe_filter
     combined_filter = analysis.combined_filter
     joins = analysis.joins
@@ -320,7 +326,8 @@ def build_job(analysis: AnalyzedSelect, splits: List[FileSplit],
 
         return Job(name=job_name, input_format=input_format, mapper=mapper,
                    splits=splits, combiner=combiner, reducer=reducer,
-                   num_reducers=(num_group_reducers if group_fns else 1))
+                   num_reducers=(num_group_reducers if group_fns else 1),
+                   vector_plan=vector_plan)
 
     project_fns = analysis.project_fns
 
@@ -334,7 +341,8 @@ def build_job(analysis: AnalyzedSelect, splits: List[FileSplit],
             ctx.emit(None, tuple(fn(row) for fn in project_fns))
 
     return Job(name=job_name, input_format=input_format,
-               mapper=plain_mapper, splits=splits, num_reducers=0)
+               mapper=plain_mapper, splits=splits, num_reducers=0,
+               vector_plan=vector_plan)
 
 
 def _merge_states(functions, values):

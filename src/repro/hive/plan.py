@@ -40,6 +40,9 @@ class Plan:
     splits: int = 0
     #: the chosen index handler's access plan, or None for a full scan
     access: Optional[IndexAccessPlan] = None
+    #: the scan job runs on the columnar engine (``ExecutionConfig(
+    #: vectorized=True)`` and the scan is batch-decodable)
+    vectorized: bool = False
     #: executed span tree (populated only after execution, i.e. for
     #: ``QueryResult.plan`` and ``EXPLAIN ANALYZE``)
     trace: Optional[Trace] = None
@@ -110,6 +113,10 @@ class Plan:
         else:
             lines.append("index: none (full scan)")
         lines.append(f"splits: {self.splits}")
+        if self.vectorized:
+            # Only emitted when on, so the row engine's plan text (and
+            # every fingerprint built from it) is unchanged.
+            lines.append("vectorized: true")
         lines.append(f"shape: {self.shape}")
         return "\n".join(lines)
 
@@ -145,5 +152,6 @@ class Plan:
             "shape": self.shape,
             "joins": self.joins,
             "splits": self.splits,
+            "vectorized": self.vectorized,
             "index": index,
         }

@@ -439,6 +439,7 @@ class HiveSession:
 
         grouped: Dict[Any, Tuple] = {}
         plain_rows: List[Tuple] = []
+        vectorized = False
         if rewrite_grouped is not None:
             grouped = rewrite_grouped
             with self.tracer.span("index_rewrite",
@@ -447,9 +448,12 @@ class HiveSession:
                     read_index_and_other=self.cluster.job_launch_seconds)
             time = time + rewrite_span.sim
         elif splits:
+            vector_plan = self._vector_plan(analysis, input_format)
+            vectorized = vector_plan is not None
             job = hexec.build_job(analysis, splits, input_format,
                                   job_name=f"select-{stmt.table.name}",
-                                  num_group_reducers=options.group_reducers)
+                                  num_group_reducers=options.group_reducers,
+                                  vector_plan=vector_plan)
             result = self.engine.run(job)
             stats.jobs += 1
             stats.splits_processed = len(splits)
@@ -509,7 +513,8 @@ class HiveSession:
         root.add("output_records", stats.output_records)
         root.add("splits_processed", stats.splits_processed)
         self._record_query_metrics(shape, plan, stats)
-        query_plan = self._make_plan(analysis, plan, len(splits))
+        query_plan = self._make_plan(analysis, plan, len(splits),
+                                     vectorized=vectorized)
         return QueryResult(columns=list(analysis.output_names), rows=rows,
                            stats=stats,
                            description=query_plan.render(),
@@ -684,16 +689,25 @@ class HiveSession:
         extra = JobStats(output_bytes=written)
         return self.cost_model.job_seconds(extra, include_launch=False)
 
+    def _vector_plan(self, analysis: hexec.AnalyzedSelect, input_format):
+        """The columnar plan for this scan, or ``None`` (vectorization off,
+        NumPy unavailable, joins, or no batch decoder for the format)."""
+        if not self.execution.vectorized:
+            return None
+        from repro import vector  # deferred: NumPy-optional subsystem
+        return vector.compile_select(analysis, input_format)
+
     def _make_plan(self, analysis: hexec.AnalyzedSelect,
                    access: Optional[IndexAccessPlan],
-                   num_splits: int) -> Plan:
+                   num_splits: int, vectorized: bool = False) -> Plan:
         shape = "group/aggregate" if analysis.is_group_query else "projection"
         return Plan(table=analysis.table.name,
                     stored_as=analysis.table.stored_as,
                     shape=shape,
                     joins=len(analysis.joins),
                     splits=num_splits,
-                    access=access)
+                    access=access,
+                    vectorized=vectorized)
 
     def _explain(self, stmt: ast.SelectStmt, options: QueryOptions,
                  analyze: bool = False) -> QueryResult:
@@ -711,8 +725,15 @@ class HiveSession:
                                plan=result.plan)
         analysis = hexec.analyze(self.metastore, stmt)
         access = self._plan_access(analysis, options)
-        splits, _fmt = self._resolve_splits(analysis, access)
-        query_plan = self._make_plan(analysis, access, len(splits))
+        splits, fmt = self._resolve_splits(analysis, access)
+        # Mirror _run_select's decision: an index rewrite answers from GFU
+        # headers without a scan job, so nothing would be vectorized.
+        rewrite = access.rewrite_grouped if access is not None else None
+        vectorized = bool(
+            splits and rewrite is None
+            and self._vector_plan(analysis, fmt) is not None)
+        query_plan = self._make_plan(analysis, access, len(splits),
+                                     vectorized=vectorized)
         text = query_plan.render()
         return QueryResult(columns=["plan"],
                            rows=[(line,) for line in text.split("\n")],

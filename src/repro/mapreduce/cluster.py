@@ -73,9 +73,20 @@ class ExecutionConfig:
     task results in deterministic split/partition order at each phase
     barrier.  The differential harness (``tests/harness/differential.py``)
     enforces that guarantee.
+
+    ``vectorized=True`` opts map tasks into the columnar batch engine
+    (:mod:`repro.vector`): scans decode whole column batches, predicates
+    run as NumPy kernels, and additive aggregates fold per batch.  The
+    switch is purely a *speed* knob — any expression the vector layer
+    cannot compile falls back to the row engine per operator, and the
+    vector differential harness (``tests/test_vector_differential.py``)
+    proves results, stats and normalized traces stay byte-identical.
+    When NumPy is not installed the flag is inert and the row engine
+    runs everywhere.
     """
 
     max_workers: int = 1
+    vectorized: bool = False
 
     def __post_init__(self):
         if self.max_workers < 0:

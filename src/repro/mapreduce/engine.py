@@ -15,6 +15,7 @@ cost model's slot/wave arithmetic over the measured counters.
 
 from __future__ import annotations
 
+import numbers
 import threading
 import zlib
 from concurrent.futures import ThreadPoolExecutor
@@ -29,7 +30,8 @@ from repro.mapreduce.counters import Counters
 from repro.mapreduce.cost import TaskStats
 from repro.mapreduce.job import Job, JobResult, TaskContext
 from repro.obs.trace import (FAULT_COUNTER_PREFIX, FAULT_SPAN_PREFIX,
-                             NULL_TRACER, Span, Tracer)
+                             NULL_TRACER, VECTOR_ATTR, VECTOR_COUNTER_PREFIX,
+                             Span, Tracer)
 
 
 def estimate_size(obj: Any) -> int:
@@ -53,6 +55,12 @@ def estimate_size(obj: Any) -> int:
         return len(obj)
     if isinstance(obj, bytes):
         return len(obj)
+    # Foreign numeric scalars (e.g. NumPy's int64/float64, which are not
+    # Python ints and would otherwise fall through to the opaque-object
+    # default of 16) size like their Python counterparts, so any scalar
+    # that leaks out of an array fold cannot skew shuffle-byte accounting.
+    if isinstance(obj, (numbers.Integral, numbers.Real)):
+        return 8
     if isinstance(obj, (tuple, list)):
         return 4 + sum(estimate_size(v) for v in obj)
     if isinstance(obj, (set, frozenset)):
@@ -330,6 +338,12 @@ class MapReduceEngine:
 
     def _map_task(self, job: Job, task_id: int, split, attempt: int = 0,
                   crash_after: Optional[int] = None) -> _TaskOutcome:
+        if job.vector_plan is not None and crash_after is None:
+            # Crash-injected attempts stay on the row path: the batch path
+            # cannot reproduce a crash *between* record N and N+1, and the
+            # recovery wrapper discards crashed attempts entirely, so the
+            # merged result is identical either way.
+            return self._vector_map_task(job, task_id, split)
         emits: List[Tuple[Any, Any]] = []
         counters = Counters()
         ctx = TaskContext(task_id, self.fs, counters,
@@ -353,6 +367,35 @@ class MapReduceEngine:
             span.add("input_records", outcome.input_records)
             span.add("input_bytes", outcome.input_bytes)
             span.add("output_records", outcome.output_records)
+        if self.tracer.enabled:
+            outcome.span = span
+        return outcome
+
+    def _vector_map_task(self, job: Job, task_id: int, split) -> _TaskOutcome:
+        """Columnar map task: identical outcome to :meth:`_map_task`, plus
+        ``vector.*`` trace counters (strippable, like ``fault:*`` data)."""
+        counters = Counters()
+        outcome = _TaskOutcome(task_id=task_id, emits=[], counters=counters)
+        with self.tracer.task_span("map", task=task_id) as span:
+            with task_io_scope() as scope:
+                report = job.vector_plan.run_map_task(self.fs, split)
+                outcome.input_bytes = scope.captured(self.fs.io).bytes_read
+            outcome.emits = report.emits
+            outcome.input_records = report.input_records
+            outcome.output_records = report.output_records
+            if report.matched:
+                # The row mapper's per-row ctx.counter("query", "matched");
+                # guarded so a zero-match task does not create the counter
+                # entry the row path never creates.
+                counters.inc("query", "matched", report.matched)
+            span.add("input_records", outcome.input_records)
+            span.add("input_bytes", outcome.input_bytes)
+            span.add("output_records", outcome.output_records)
+            span.set(VECTOR_ATTR, True)
+            span.add(VECTOR_COUNTER_PREFIX + "batches", report.batches)
+            if report.fallback_rows:
+                span.add(VECTOR_COUNTER_PREFIX + "fallback_rows",
+                         report.fallback_rows)
         if self.tracer.enabled:
             outcome.span = span
         return outcome

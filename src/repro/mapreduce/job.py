@@ -71,6 +71,12 @@ class Job:
     #: per-job override of the fault plan's retry budget (None = policy's
     #: ``max_task_attempts``); lets tests pin a job to a single attempt.
     max_task_attempts: Optional[int] = None
+    #: optional :class:`repro.vector.plan.VectorSelectPlan`; when set, map
+    #: tasks run the columnar path instead of ``mapper`` (which remains the
+    #: byte-identical reference and is still used for crash-injected
+    #: attempts, whose per-record crash timing the batch path cannot
+    #: reproduce).
+    vector_plan: Optional[Any] = None
 
     def validate(self) -> None:
         if self.splits is None and not self.input_paths:

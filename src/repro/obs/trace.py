@@ -49,6 +49,15 @@ TRACE_VERSION = 1
 FAULT_SPAN_PREFIX = "fault:"
 FAULT_COUNTER_PREFIX = "fault."
 
+#: vectorized-execution observability rides on the v1 schema the same way:
+#: batch-engine progress appears as counters starting with this prefix
+#: (``vector.batches``, ``vector.fallback_rows``) plus a ``vectorized``
+#: attribute on scan/map spans.  :func:`strip_vector_data` removes both,
+#: recovering the trace the row engine would have emitted — which is how
+#: the vector differential harness compares the two modes.
+VECTOR_COUNTER_PREFIX = "vector."
+VECTOR_ATTR = "vectorized"
+
 Number = Union[int, float]
 
 
@@ -354,6 +363,24 @@ def strip_fault_data(node: Dict[str, Any]) -> Dict[str, Any]:
                         if not k.startswith(FAULT_COUNTER_PREFIX)}
     node["children"] = [strip_fault_data(c) for c in node["children"]
                         if not c["name"].startswith(FAULT_SPAN_PREFIX)]
+    return node
+
+
+def strip_vector_data(node: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of a span-document subtree without vector observability.
+
+    Drops every counter whose name starts with
+    :data:`VECTOR_COUNTER_PREFIX` and the :data:`VECTOR_ATTR` attribute,
+    recursively.  Applied to a vectorized run's trace this recovers the
+    byte-identical row-engine document, because the batch engine reports
+    its progress only through those two namespaces.
+    """
+    node = dict(node)
+    node["attrs"] = {k: v for k, v in node["attrs"].items()
+                     if k != VECTOR_ATTR}
+    node["counters"] = {k: v for k, v in node["counters"].items()
+                        if not k.startswith(VECTOR_COUNTER_PREFIX)}
+    node["children"] = [strip_vector_data(c) for c in node["children"]]
     return node
 
 

@@ -154,6 +154,31 @@ class RCFileReader:
         return [row for _, row in
                 self._read_group(group_offset, wanted, row_filter)]
 
+    def read_group_columns(self, group_offset: int,
+                           wanted: Optional[Sequence[int]] = None
+                           ) -> Tuple[int, List[Optional[List[Any]]]]:
+        """Read one row group *columnar*: ``(nrows, columns)``.
+
+        ``columns`` has one entry per schema position — a list of parsed
+        values for read columns, ``None`` for pruned ones (``wanted`` is a
+        collection of schema positions; ``None`` reads everything).  This is
+        the single source of the group pread pattern: :meth:`_read_group`
+        (the row path) is built on it, so the vector decoder's byte/seek
+        accounting is identical to the row engine's by construction.
+        """
+        nrows, col_lens, blob_start, _ = self._read_header(group_offset)
+        ncols = len(self._schema)
+        indices = wanted if wanted is not None else range(ncols)
+        decoded: List[Optional[List[Any]]] = [None] * ncols
+        offset = blob_start
+        for i in range(ncols):
+            if i in indices:
+                blob = self._stream.pread(offset, col_lens[i])
+                decoded[i] = self._decode_blob(blob, nrows,
+                                               self._schema.columns[i].dtype)
+            offset += col_lens[i]
+        return nrows, decoded
+
     # ----------------------------------------------------------------- parts
     def _seek_group(self, start: int) -> int:
         """Groups are self-delimiting; callers pass real group offsets (from
@@ -186,17 +211,8 @@ class RCFileReader:
 
     def _read_group(self, pos: int, wanted: Optional[List[int]],
                     row_filter) -> Iterator[Tuple[int, Tuple]]:
-        nrows, col_lens, blob_start, _ = self._read_header(pos)
+        nrows, decoded = self.read_group_columns(pos, wanted)
         ncols = len(self._schema)
-        indices = wanted if wanted is not None else list(range(ncols))
-        decoded: List[Optional[List[Any]]] = [None] * ncols
-        offset = blob_start
-        for i in range(ncols):
-            if i in indices:
-                blob = self._stream.pread(offset, col_lens[i])
-                decoded[i] = self._decode_blob(blob, nrows,
-                                               self._schema.columns[i].dtype)
-            offset += col_lens[i]
         for r in range(nrows):
             if row_filter is not None and not row_filter(pos, r):
                 continue

@@ -1,0 +1,35 @@
+"""Vectorized columnar execution for the scan→filter→aggregate hot path.
+
+The public surface the rest of the system uses:
+
+* :func:`repro.vector.runtime.numpy_available` — is the vector engine
+  usable right now (NumPy importable and not disabled via
+  ``REPRO_VECTOR_DISABLE=1``)?
+* :func:`repro.vector.plan.compile_select` — build a
+  :class:`~repro.vector.plan.VectorSelectPlan` for an analysed SELECT, or
+  ``None`` when the scan must stay on the row engine;
+* :class:`~repro.vector.plan.VectorSelectPlan` — executed by
+  :mod:`repro.mapreduce.engine` in place of the per-record mapper loop.
+
+Everything here is optional: without NumPy the imports still succeed
+(only :mod:`repro.vector.runtime` touches the import) and every query
+runs on the row engine, byte-for-byte identically.
+"""
+
+from repro.vector.batch import ArrayUnavailable, ColumnBatch
+from repro.vector.kernels import KernelFallback, compile_kernel
+from repro.vector.plan import MapTaskReport, VectorSelectPlan, compile_select
+from repro.vector.runtime import DISABLE_ENV, numpy_available, numpy_module
+
+__all__ = [
+    "ArrayUnavailable",
+    "ColumnBatch",
+    "DISABLE_ENV",
+    "KernelFallback",
+    "MapTaskReport",
+    "VectorSelectPlan",
+    "compile_kernel",
+    "compile_select",
+    "numpy_available",
+    "numpy_module",
+]

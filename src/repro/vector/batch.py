@@ -1,0 +1,148 @@
+"""ColumnBatch: one decoded chunk of a scan, stored column-wise.
+
+A batch holds, per schema position, either a plain Python list of parsed
+values (exactly what :meth:`DataType.parse` produced — so the values are
+*identical objects semantically* to what the row engine sees), ``None``
+for a column the scan pruned away, or — when the decoder took its NumPy
+fast path — an int64/float64 array whose ``tolist()`` is that exact
+Python list (NumPy parses numeric text with the same ``int``/``float``
+conversions, so the values are bit-identical).  Whichever side was built
+first, the other is materialized lazily per column: arrays only when a
+kernel asks, Python lists (and row tuples, for per-row fallback) only
+when row-engine code asks.
+
+Batches may also be built *fully lazily* (:meth:`ColumnBatch.lazy`): the
+decoder hands over one loader per column and a column is not even parsed
+until something touches it.  That is the classic column-store late
+materialization — a 17-column meter table scanned by a 4-column query
+parses 4 columns — and it is invisible to correctness because parsing is
+pure CPU: the bytes were already read (I/O counters are decided by the
+reader's preads, not by which fields get converted), and any code path
+that *does* need a value (kernels, per-row fallback, emitted rows) forces
+the column first.
+
+Two invariants keep the row and vector engines byte-identical:
+
+* every value handed to user-visible code (emitted keys, emitted values,
+  fallback rows) is a *pure Python* scalar — never a NumPy scalar, whose
+  ``repr`` (used by the shuffle partitioner) and ``estimate_size``
+  accounting differ;
+* an INT/BIGINT column whose values overflow ``int64`` refuses to become
+  an array (:class:`ArrayUnavailable`), which kernels translate into a
+  row-engine fallback rather than silently wrapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.storage.schema import DataType, Schema
+
+
+class ArrayUnavailable(Exception):
+    """A column cannot be represented as a NumPy array (e.g. int64
+    overflow); the requesting kernel must fall back to the row engine."""
+
+
+#: marks a column whose loader has not run yet (distinct from ``None`` =
+#: pruned column)
+_PENDING = object()
+
+
+class ColumnBatch:
+    """A fixed number of rows, stored as per-column Python lists and/or
+    NumPy arrays (see the module docstring for the equivalence)."""
+
+    __slots__ = ("schema", "num_rows", "_cols", "_loaders", "_lists",
+                 "_arrays", "_rows")
+
+    def __init__(self, schema: Schema, num_rows: int,
+                 columns: Sequence[Optional[Any]],
+                 loaders: Optional[List[Optional[Callable[[], Any]]]] = None):
+        self.schema = schema
+        self.num_rows = num_rows
+        #: per position: a Python list, a NumPy array, ``None`` (pruned),
+        #: or ``_PENDING`` (loader not run yet)
+        self._cols: List[Any] = list(columns)
+        self._loaders = loaders
+        self._lists: List[Any] = [None] * len(self._cols)
+        self._arrays: List[Any] = [None] * len(self._cols)
+        self._rows: Optional[List[Tuple[Any, ...]]] = None
+
+    @classmethod
+    def lazy(cls, schema: Schema, num_rows: int,
+             loaders: List[Optional[Callable[[], Any]]]) -> "ColumnBatch":
+        """A batch whose columns are parsed on first touch.  Each loader
+        returns the column as a list or as a NumPy array; a ``None``
+        loader marks the column as pruned."""
+        columns = [_PENDING if loader is not None else None
+                   for loader in loaders]
+        return cls(schema, num_rows, columns, loaders)
+
+    def _column(self, position: int) -> Any:
+        column = self._cols[position]
+        if column is _PENDING:
+            column = self._loaders[position]()
+            self._cols[position] = column
+        return column
+
+    def pylist(self, position: int) -> List[Any]:
+        """The raw parsed values of one column (schema position)."""
+        values = self._lists[position]
+        if values is None:
+            column = self._column(position)
+            if column is None:
+                raise ArrayUnavailable(
+                    f"column {position} was pruned from this scan")
+            if isinstance(column, list):
+                values = column
+            else:
+                # tolist() yields pure Python int/float scalars — exactly
+                # the values ``int(field)`` / ``float(field)`` would have
+                # parsed.
+                values = column.tolist()
+            self._lists[position] = values
+        return values
+
+    def array(self, np, position: int):
+        """The column as a NumPy array (int64 / float64 / unicode).
+
+        Raises :class:`ArrayUnavailable` when the values do not fit the
+        dtype (only possible for INT/BIGINT values beyond int64).
+        """
+        cached = self._arrays[position]
+        if cached is not None:
+            return cached
+        column = self._column(position)
+        if column is not None and not isinstance(column, list):
+            self._arrays[position] = column
+            return column
+        values = self.pylist(position)
+        dtype = self.schema.columns[position].dtype
+        if dtype in (DataType.INT, DataType.BIGINT):
+            try:
+                array = np.array(values, dtype=np.int64)
+            except OverflowError as exc:
+                raise ArrayUnavailable(str(exc)) from exc
+        elif dtype is DataType.DOUBLE:
+            array = np.array(values, dtype=np.float64)
+        else:  # STRING / DATE: numpy unicode compares lexicographically,
+            # exactly like Python str.
+            array = np.array(values, dtype=np.str_)
+        self._arrays[position] = array
+        return array
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """Row tuples in schema order (``None`` for pruned columns) —
+        exactly the tuples the row-engine RecordReader would have yielded.
+        Materialized once, on first fallback."""
+        if self._rows is None:
+            n = self.num_rows
+            columns = []
+            for position in range(len(self._cols)):
+                if self._column(position) is None:
+                    columns.append([None] * n)
+                else:
+                    columns.append(self.pylist(position))
+            self._rows = list(zip(*columns)) if columns else [()] * n
+        return self._rows

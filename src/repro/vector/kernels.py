@@ -1,0 +1,390 @@
+"""Batch kernels: lowering expression trees to NumPy with SQL NULL masks.
+
+:func:`compile_kernel` turns an AST expression into a function
+``batch -> VectorValue`` that mirrors :func:`repro.hiveql.evaluator
+.compile_expr` *exactly*, including SQL three-valued logic: a
+:class:`VectorValue` carries ``data`` (array or scalar) plus ``null``
+(boolean mask, or ``None`` for "no NULLs anywhere").  A lane whose null
+mask is set corresponds to the row function returning ``None``.
+
+Supported today: literals, column references, ``NOT``/unary ``-``,
+``AND``/``OR`` (Kleene), the six comparisons, ``+ - * /`` arithmetic,
+``BETWEEN`` and ``IN`` — over matching type classes (numeric with
+numeric, string with string).  Everything else returns ``None`` from
+:func:`compile_kernel` ("this expression is row-only"), deliberately
+including:
+
+* ``%`` — the row engine raises ``ZeroDivisionError`` on a zero divisor
+  (unlike ``/`` which yields NULL); reproducing the crash semantics
+  vectorized is not worth it;
+* ``LIKE`` and every scalar function (``abs``/``round``/``floor``/…) —
+  per-value Python either way;
+* mixed-type comparisons (e.g. int vs string) and boolean-vs-numeric
+  operands, whose Python coercion quirks the row engine defines.
+
+A compiled kernel may still raise :class:`KernelFallback` at *runtime*
+when a batch turns out to be unsafe to vectorize — an int64-overflowing
+column (:class:`~repro.vector.batch.ArrayUnavailable` is converted), a
+``BETWEEN`` whose bounds contain NULLs (the row engine raises TypeError
+there; the caller re-runs the expression row-at-a-time so the behaviour,
+crash included, is identical), or integer arithmetic whose operands are
+large enough that int64 could overflow where Python would not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.hiveql import ast
+from repro.hiveql.evaluator import ColumnResolver
+from repro.storage.schema import DataType, Schema
+
+#: magnitude guards: int64 arithmetic stays exact below 2**31 per operand;
+#: int-vs-float comparisons stay exact below 2**53 (float64 mantissa).
+_INT_ARITH_LIMIT = 2 ** 31
+_INT_COMPARE_LIMIT = 2 ** 53
+
+_NUMERIC = ("int", "float")
+
+
+class KernelFallback(Exception):
+    """Raised by a kernel when this batch must run on the row engine."""
+
+
+class VectorValue:
+    """A batch-wide value: ``data`` plus an optional NULL mask.
+
+    ``data`` is a NumPy array of one lane per row, or a scalar (literals
+    and literal-folded subtrees); ``null`` is a boolean array/scalar or
+    ``None`` meaning "definitely no NULLs".
+    """
+
+    __slots__ = ("data", "null")
+
+    def __init__(self, data: Any, null: Any = None):
+        self.data = data
+        self.null = null
+
+
+Kernel = Callable[[Any], VectorValue]  # batch -> VectorValue
+
+
+def _merge_null(np, left, right):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return np.logical_or(left, right)
+
+
+def _has_nulls(np, null) -> bool:
+    return null is not None and bool(np.any(null))
+
+
+def is_true_mask(np, value: VectorValue, num_rows: int):
+    """The SQL ``WHERE`` coercion: TRUE keeps the row, FALSE/NULL drop it
+    (``predicate_fn``'s ``is True``)."""
+    mask = np.broadcast_to(np.asarray(value.data, dtype=bool), (num_rows,))
+    if value.null is not None:
+        nulls = np.broadcast_to(np.asarray(value.null, dtype=bool),
+                                (num_rows,))
+        mask = np.logical_and(mask, np.logical_not(nulls))
+    return mask
+
+
+def compile_kernel(expr: ast.Expr, resolver: ColumnResolver, schema: Schema,
+                   np) -> Optional[Kernel]:
+    """Compile ``expr`` to a batch kernel, or ``None`` if unsupported."""
+    compiled = _compile(expr, resolver, schema, np)
+    if compiled is None:
+        return None
+    kernel, _ktype = compiled
+    return kernel
+
+
+# ------------------------------------------------------------- the compiler
+def _compile(expr, resolver, schema, np
+             ) -> Optional[Tuple[Kernel, str]]:
+    if isinstance(expr, ast.Literal):
+        return _compile_literal(expr)
+    if isinstance(expr, ast.ColumnRef):
+        position = resolver.try_resolve(expr)
+        if position is None or position >= len(schema):
+            return None
+        dtype = schema.columns[position].dtype
+        if dtype in (DataType.INT, DataType.BIGINT):
+            ktype = "int"
+        elif dtype is DataType.DOUBLE:
+            ktype = "float"
+        else:
+            ktype = "str"
+        return (lambda batch: VectorValue(batch.array(np, position)), ktype)
+    if isinstance(expr, ast.UnaryOp):
+        return _compile_unary(expr, resolver, schema, np)
+    if isinstance(expr, ast.Between):
+        return _compile_between(expr, resolver, schema, np)
+    if isinstance(expr, ast.InList):
+        return _compile_in_list(expr, resolver, schema, np)
+    if isinstance(expr, ast.BinaryOp):
+        return _compile_binary(expr, resolver, schema, np)
+    return None  # Star, FuncCall (incl. LIKE-adjacent helpers), unknown
+
+
+def _compile_literal(expr) -> Optional[Tuple[Kernel, str]]:
+    value = expr.value
+    if value is None:
+        return (lambda batch: VectorValue(False, True), "null")
+    if isinstance(value, bool):
+        ktype = "bool"
+    elif isinstance(value, int):
+        ktype = "int"
+    elif isinstance(value, float):
+        ktype = "float"
+    elif isinstance(value, str):
+        ktype = "str"
+    else:
+        return None
+    return (lambda batch: VectorValue(value), ktype)
+
+
+def _compile_unary(expr, resolver, schema, np):
+    operand = _compile(expr.operand, resolver, schema, np)
+    if operand is None:
+        return None
+    kernel, ktype = operand
+    if expr.op == "NOT" and ktype in ("bool", "null"):
+        def not_(batch):
+            value = kernel(batch)
+            return VectorValue(np.logical_not(value.data), value.null)
+        return not_, ktype
+    if expr.op == "-" and ktype in _NUMERIC:
+        def neg(batch):
+            value = kernel(batch)
+            if ktype == "int":
+                # -(-2**63) has no int64 representation: np.negative wraps
+                # it silently where Python grows, so that lane (and an
+                # out-of-range literal, which would raise OverflowError)
+                # goes to the row engine.
+                _guard_int_magnitude(np, value, 2 ** 63)
+            return VectorValue(np.negative(value.data), value.null)
+        return neg, ktype
+    return None
+
+
+def _literal_int_out_of(expr, limit) -> bool:
+    return (isinstance(expr, ast.Literal)
+            and isinstance(expr.value, int)
+            and not isinstance(expr.value, bool)
+            and abs(expr.value) >= limit)
+
+
+def _guard_int_magnitude(np, value: VectorValue, limit) -> None:
+    """Refuse lanes whose int64 magnitude threatens exactness.
+
+    The magnitude check reads ``min``/``max`` of the raw lanes and takes
+    ``abs`` in Python — ``np.abs`` itself wraps on ``-2**63`` (int64 min
+    has no int64 negation), which would let the one value most likely to
+    overflow slip past the guard.
+    """
+    data = value.data
+    if isinstance(data, int):
+        if abs(data) >= limit:
+            raise KernelFallback("int literal too large")
+        return
+    if getattr(data, "dtype", None) is not None and data.dtype.kind == "i":
+        if data.size and max(abs(int(np.min(data))),
+                             abs(int(np.max(data)))) >= limit:
+            raise KernelFallback("int64 magnitude unsafe")
+
+
+def _compile_between(expr, resolver, schema, np):
+    parts = [_compile(sub, resolver, schema, np)
+             for sub in (expr.operand, expr.low, expr.high)]
+    if any(p is None for p in parts):
+        return None
+    (op_k, op_t), (lo_k, lo_t), (hi_k, hi_t) = parts
+    if not (all(t in _NUMERIC for t in (op_t, lo_t, hi_t))
+            or (op_t == lo_t == hi_t == "str")):
+        return None
+
+    def between(batch):
+        value = op_k(batch)
+        low = lo_k(batch)
+        high = hi_k(batch)
+        # A NULL bound makes the row engine raise TypeError (None is not
+        # orderable); hand the batch back to it rather than guessing.
+        if _has_nulls(np, low.null) or _has_nulls(np, high.null):
+            raise KernelFallback("NULL BETWEEN bound")
+        data = np.logical_and(np.less_equal(low.data, value.data),
+                              np.less_equal(value.data, high.data))
+        return VectorValue(data, value.null)
+
+    return between, "bool"
+
+
+def _compile_in_list(expr, resolver, schema, np):
+    operand = _compile(expr.operand, resolver, schema, np)
+    if operand is None:
+        return None
+    op_k, op_t = operand
+    options = [_compile(o, resolver, schema, np) for o in expr.options]
+    if any(o is None for o in options):
+        return None
+    if op_t in _NUMERIC:
+        allowed = set(_NUMERIC) | {"null"}
+        if any(_literal_int_out_of(o, _INT_COMPARE_LIMIT)
+               for o in [expr.operand, *expr.options]):
+            return None
+    elif op_t == "str":
+        allowed = {"str", "null"}
+    else:
+        return None
+    if any(o_t not in allowed for _k, o_t in options):
+        return None
+    # A NULL-literal option never matches (the row engine's ``value ==
+    # None`` is False) and never poisons the result, so drop it from the
+    # kernel outright — comparing it lane-wise would even be a dtype
+    # error for string operands.
+    option_kernels = [k for k, t in options if t != "null"]
+    option_types = [t for _k, t in options if t != "null"]
+    mixed = op_t in _NUMERIC and len(
+        {t for t in [op_t, *option_types] if t in _NUMERIC}) > 1
+
+    def in_list(batch):
+        value = op_k(batch)
+        if mixed:
+            _guard_int_magnitude(np, value, _INT_COMPARE_LIMIT)
+        # Row semantics: NULL operand -> NULL; a NULL option never
+        # matches (``value == None`` is False) and never poisons.
+        matched = False
+        for option_kernel in option_kernels:
+            option = option_kernel(batch)
+            if mixed:
+                _guard_int_magnitude(np, option, _INT_COMPARE_LIMIT)
+            hit = np.equal(value.data, option.data)
+            if option.null is not None:
+                hit = np.logical_and(hit, np.logical_not(option.null))
+            matched = np.logical_or(matched, hit)
+        return VectorValue(matched, value.null)
+
+    return in_list, "bool"
+
+
+def _compile_binary(expr, resolver, schema, np):
+    op = expr.op
+    left = _compile(expr.left, resolver, schema, np)
+    right = _compile(expr.right, resolver, schema, np)
+    if left is None or right is None:
+        return None
+    left_k, left_t = left
+    right_k, right_t = right
+
+    if op in ("AND", "OR"):
+        if left_t not in ("bool", "null") or right_t not in ("bool", "null"):
+            return None
+        conjunction = op == "AND"
+
+        def kleene(batch):
+            lhs = left_k(batch)
+            rhs = right_k(batch)
+            ldata = np.asarray(lhs.data, dtype=bool)
+            rdata = np.asarray(rhs.data, dtype=bool)
+            lnull = lhs.null if lhs.null is not None else False
+            rnull = rhs.null if rhs.null is not None else False
+            if conjunction:
+                data = np.logical_and(ldata, rdata)
+                # NULL unless either side is a definite (non-NULL) False
+                decided = np.logical_or(
+                    np.logical_and(np.logical_not(ldata),
+                                   np.logical_not(lnull)),
+                    np.logical_and(np.logical_not(rdata),
+                                   np.logical_not(rnull)))
+            else:
+                data = np.logical_or(ldata, rdata)
+                decided = np.logical_or(
+                    np.logical_and(ldata, np.logical_not(lnull)),
+                    np.logical_and(rdata, np.logical_not(rnull)))
+            null = np.logical_and(np.logical_or(lnull, rnull),
+                                  np.logical_not(decided))
+            if not np.any(null):
+                null = None
+            return VectorValue(data, null)
+
+        return kleene, "bool"
+
+    comparisons = {"=": np.equal, "!=": np.not_equal, "<": np.less,
+                   "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal}
+    if op in comparisons:
+        if "null" in (left_t, right_t):
+            return (lambda batch: VectorValue(False, True)), "bool"
+        numeric = left_t in _NUMERIC and right_t in _NUMERIC
+        stringy = left_t == "str" and right_t == "str"
+        if not (numeric or stringy):
+            return None
+        mixed = numeric and left_t != right_t
+        if numeric and (_literal_int_out_of(expr.left, _INT_COMPARE_LIMIT)
+                        or _literal_int_out_of(expr.right,
+                                               _INT_COMPARE_LIMIT)):
+            return None
+        compare = comparisons[op]
+
+        def cmp_(batch):
+            lhs = left_k(batch)
+            rhs = right_k(batch)
+            if mixed:
+                # int64 -> float64 loses exactness at 2**53; Python
+                # compares exactly, so large ints go to the row engine.
+                _guard_int_magnitude(np, lhs, _INT_COMPARE_LIMIT)
+                _guard_int_magnitude(np, rhs, _INT_COMPARE_LIMIT)
+            data = compare(lhs.data, rhs.data)
+            null = _merge_null(np, lhs.null, rhs.null)
+            return VectorValue(data, null)
+
+        return cmp_, "bool"
+
+    if op in ("+", "-", "*", "/"):
+        if "null" in (left_t, right_t):
+            return (lambda batch: VectorValue(0.0, True)), "float"
+        if left_t not in _NUMERIC or right_t not in _NUMERIC:
+            return None
+        int_int = left_t == "int" and right_t == "int"
+        if op != "/" and int_int and (
+                _literal_int_out_of(expr.left, _INT_ARITH_LIMIT)
+                or _literal_int_out_of(expr.right, _INT_ARITH_LIMIT)):
+            return None
+        if op == "/":
+            if _literal_int_out_of(expr.left, _INT_COMPARE_LIMIT) \
+                    or _literal_int_out_of(expr.right, _INT_COMPARE_LIMIT):
+                return None
+
+            def div(batch):
+                lhs = left_k(batch)
+                rhs = right_k(batch)
+                # Python divides big ints exactly; int64 -> float64 first
+                # would double-round, so large ints take the row engine.
+                _guard_int_magnitude(np, lhs, _INT_COMPARE_LIMIT)
+                _guard_int_magnitude(np, rhs, _INT_COMPARE_LIMIT)
+                with np.errstate(all="ignore"):
+                    data = np.true_divide(lhs.data, rhs.data)
+                zero = np.equal(rhs.data, 0)  # catches -0.0 like Python ==
+                null = _merge_null(np, _merge_null(np, lhs.null, rhs.null),
+                                   zero if np.any(zero) else None)
+                return VectorValue(data, null)
+            return div, "float"
+
+        arith = {"+": np.add, "-": np.subtract, "*": np.multiply}[op]
+
+        def arith_(batch):
+            lhs = left_k(batch)
+            rhs = right_k(batch)
+            if int_int:
+                # int64 wraps silently where Python would grow; stay exact.
+                _guard_int_magnitude(np, lhs, _INT_ARITH_LIMIT)
+                _guard_int_magnitude(np, rhs, _INT_ARITH_LIMIT)
+            with np.errstate(all="ignore"):
+                data = arith(lhs.data, rhs.data)
+            return VectorValue(data, _merge_null(np, lhs.null, rhs.null))
+
+        return arith_, ("int" if int_int else "float")
+
+    return None  # LIKE, %, unknown operators

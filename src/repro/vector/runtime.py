@@ -1,0 +1,38 @@
+"""NumPy import guard for the vectorized engine.
+
+NumPy is an *optional* dependency: the row engine is the source of truth
+and runs everywhere, the vector engine is a speed layer that only engages
+when NumPy is importable.  All vector modules obtain NumPy through
+:func:`numpy_module` instead of importing it at module scope, so importing
+:mod:`repro.vector` (or anything that imports it, such as
+:mod:`repro.hive.session`) never fails on a NumPy-less interpreter.
+
+Setting the environment variable ``REPRO_VECTOR_DISABLE=1`` makes
+:func:`numpy_module` return ``None`` even when NumPy is installed — the
+full-fallback differential tests use it to exercise the exact code path a
+NumPy-less deployment takes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+try:  # pragma: no cover - exercised via REPRO_VECTOR_DISABLE in tests
+    import numpy as _numpy
+except ImportError:  # pragma: no cover
+    _numpy = None
+
+#: set to "1" to pretend NumPy is absent (full row-engine fallback).
+DISABLE_ENV = "REPRO_VECTOR_DISABLE"
+
+
+def numpy_module() -> Optional[Any]:
+    """The ``numpy`` module, or ``None`` when absent or disabled."""
+    if _numpy is None or os.environ.get(DISABLE_ENV, "") == "1":
+        return None
+    return _numpy
+
+
+def numpy_available() -> bool:
+    return numpy_module() is not None

@@ -64,3 +64,20 @@ def test_api_doctests():
         module_relative=False, verbose=False)
     assert results.attempted > 25, "doctest examples went missing"
     assert results.failed == 0
+
+
+def test_vectorized_doctests():
+    """Every ``>>>`` example in docs/vectorized.md must run verbatim.
+
+    The examples assert vectorization actually engages, so they need
+    NumPy and a clean ``REPRO_VECTOR_DISABLE`` (the doc flips and
+    restores it itself)."""
+    pytest.importorskip("numpy")
+    import os
+    if os.environ.get("REPRO_VECTOR_DISABLE"):
+        pytest.skip("REPRO_VECTOR_DISABLE is set for this run")
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "vectorized.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 20, "doctest examples went missing"
+    assert results.failed == 0

@@ -1,0 +1,200 @@
+"""Batch decoders at the edges: split, row-group and GFU-slice boundaries.
+
+The batch readers (:mod:`repro.vector.decode`) promise two things the
+differential suite relies on: they yield **exactly** the rows the row
+input formats yield for the same split — first/last partial batches at a
+split or slice boundary included — and they issue exactly the same
+filesystem preads (``bytes_read`` / ``read_ops`` / ``seeks``), because
+per-task I/O counters are part of the byte-identity contract.
+
+These tests pin that down directly against :meth:`InputFormat.read_split`
+for hostile boundaries: splits starting and ending mid-line, splits
+owning a partial first and last row group, GFU slice ranges starting
+mid-line, and empty/degenerate ranges.  They run with or without NumPy —
+decoding to Python lists is NumPy-free by design.
+
+Also here: the ``estimate_size`` regression — NumPy integer/float
+scalars must be accounted like their Python counterparts (8 bytes), not
+fall through to the generic ``sys.getsizeof`` branch, which would make
+shuffle spill accounting differ between the two engines.
+"""
+
+import types
+
+import pytest
+
+from repro.core.dgf.inputformat import SLICES_META_KEY, DgfSliceInputFormat
+from repro.hdfs.filesystem import HDFS
+from repro.mapreduce.engine import estimate_size
+from repro.mapreduce.splits import (FileSplit, RCFileRowInputFormat,
+                                    TextRowInputFormat)
+from repro.storage.rcfile import RCFileReader, RCFileWriter
+from repro.storage.schema import Column, DataType, Schema
+from repro.storage.textfile import TextFileWriter
+from repro.vector.decode import batch_reader_for
+
+SCHEMA = Schema([Column("a", DataType.BIGINT), Column("x", DataType.DOUBLE),
+                 Column("s", DataType.STRING)])
+
+ROWS = [(i, i * 0.5 - 3.25, f"s{i % 7}") for i in range(60)]
+
+
+def _with_io(fs, action):
+    before = fs.io.snapshot()
+    result = action()
+    delta = fs.io.delta(before)
+    return result, (delta.bytes_read, delta.read_ops, delta.seeks)
+
+
+def assert_batches_equal_rows(fs, input_format, split):
+    """Rows and the pread pattern must match between the row reader and
+    the batch reader for one split."""
+    row_rows, row_io = _with_io(
+        fs, lambda: [value for _key, value in
+                     input_format.read_split(fs, split)])
+    reader = batch_reader_for(input_format)
+    assert reader is not None
+    batch_rows, vec_io = _with_io(
+        fs, lambda: [row for batch in reader.read_batches(fs, split)
+                     for row in batch.rows()])
+    assert batch_rows == row_rows, f"rows differ for {split}"
+    assert vec_io == row_io, f"pread pattern differs for {split}"
+    return row_rows
+
+
+# ------------------------------------------------------------------ fixtures
+@pytest.fixture()
+def text_file():
+    fs = HDFS(num_datanodes=3, block_size=512)
+    offsets = []
+    with fs.create("/t.txt") as stream:
+        writer = TextFileWriter(stream, SCHEMA)
+        for row in ROWS:
+            offsets.append(writer.write_row(row))
+    length = fs.status("/t.txt").length
+    return fs, offsets, length
+
+
+@pytest.fixture()
+def rcfile():
+    fs = HDFS(num_datanodes=3, block_size=512)
+    writer = RCFileWriter(fs.create("/t.rc"), SCHEMA, row_group_size=7)
+    writer.write_rows(ROWS)
+    writer.close()  # flushes the 4-row partial last group
+    with fs.open("/t.rc") as stream:
+        groups = list(RCFileReader(stream, SCHEMA).iter_groups(0, None))
+    length = fs.status("/t.rc").length
+    return fs, groups, length
+
+
+# ----------------------------------------------------------- text boundaries
+def test_text_splits_tile_with_midline_boundaries(text_file):
+    """Splits cutting lines mid-byte: each side yields the same partial
+    first/last batches as the row reader, and the tiles cover every row
+    exactly once."""
+    fs, offsets, length = text_file
+    fmt = TextRowInputFormat(SCHEMA)
+    cuts = [0, offsets[7] + 3, offsets[20], offsets[33] + 1, length]
+    covered = []
+    for start, end in zip(cuts, cuts[1:]):
+        split = FileSplit("/t.txt", start, end - start)
+        covered.extend(assert_batches_equal_rows(fs, fmt, split))
+    assert covered == ROWS
+
+
+def test_text_degenerate_splits(text_file):
+    fs, offsets, length = text_file
+    fmt = TextRowInputFormat(SCHEMA)
+    for start, end in [(offsets[5], offsets[5]),          # empty
+                       (offsets[5] + 1, offsets[6] - 1),  # inside one line
+                       (offsets[59], length),             # exactly last row
+                       (length, length)]:                 # at EOF
+        split = FileSplit("/t.txt", start, end - start)
+        assert_batches_equal_rows(fs, fmt, split)
+
+
+# --------------------------------------------------------- rcfile boundaries
+def test_rcfile_split_owns_partial_first_and_last_group(rcfile):
+    """A split whose range starts and ends inside row groups owns exactly
+    the groups whose header starts inside it — the batch reader must
+    agree on that ownership and on every decoded value."""
+    fs, groups, length = rcfile
+    fmt = RCFileRowInputFormat(SCHEMA)
+    cuts = [0, groups[2][0] + 5, groups[5][0] + 1, length]
+    covered = []
+    for start, end in zip(cuts, cuts[1:]):
+        split = FileSplit("/t.rc", start, end - start)
+        covered.extend(assert_batches_equal_rows(fs, fmt, split))
+    assert covered == ROWS
+
+
+def test_rcfile_column_pruning_matches(rcfile):
+    fs, groups, length = rcfile
+    fmt = RCFileRowInputFormat(SCHEMA, columns=["s", "a"])
+    split = FileSplit("/t.rc", 0, length)
+    rows = assert_batches_equal_rows(fs, fmt, split)
+    assert rows[0] == (0, None, "s0")  # pruned column is None both ways
+
+
+def test_rcfile_filtered_scans_have_no_batch_reader(rcfile):
+    """Group/row-filtered RCFile scans stay on the row engine."""
+    fmt = RCFileRowInputFormat(SCHEMA, group_filter=lambda path, off: True)
+    assert batch_reader_for(fmt) is None
+    fmt = RCFileRowInputFormat(SCHEMA, row_filter=lambda off, r: True)
+    assert batch_reader_for(fmt) is None
+
+
+# ------------------------------------------------------ GFU slice boundaries
+def _dgf_format(stored_as):
+    return DgfSliceInputFormat(
+        types.SimpleNamespace(schema=SCHEMA, stored_as=stored_as))
+
+
+def test_dgf_text_slices_with_partial_batches(text_file):
+    """Slice ranges over a text file — including one starting mid-line
+    and one empty — produce the row reader's exact rows and preads."""
+    fs, offsets, length = text_file
+    fmt = _dgf_format("textfile")
+    ranges = [(offsets[3], offsets[9]),
+              (offsets[12] + 2, offsets[20]),   # starts mid-line
+              (offsets[30], offsets[30]),       # empty
+              (offsets[45], length)]            # runs to EOF
+    split = FileSplit("/t.txt", 0, length,
+                      meta={SLICES_META_KEY: ranges})
+    rows = assert_batches_equal_rows(fs, fmt, split)
+    assert rows == ROWS[3:9] + ROWS[13:20] + ROWS[45:]
+
+
+def test_dgf_text_split_without_slices_reads_nothing(text_file):
+    fs, _offsets, length = text_file
+    assert assert_batches_equal_rows(
+        fs, _dgf_format("textfile"),
+        FileSplit("/t.txt", 0, length, meta={})) == []
+
+
+def test_dgf_rcfile_slices_select_whole_groups(rcfile):
+    """RCFile slices are group-aligned by the builder; a slice boundary
+    between groups must yield whole first/last groups on both paths."""
+    fs, groups, length = rcfile
+    fmt = _dgf_format("rcfile")
+    ranges = [(groups[1][0], groups[3][0]), (groups[6][0], length)]
+    split = FileSplit("/t.rc", 0, length,
+                      meta={SLICES_META_KEY: ranges})
+    rows = assert_batches_equal_rows(fs, fmt, split)
+    assert rows == ROWS[7:21] + ROWS[42:]
+
+
+def test_dgf_sequencefile_has_no_batch_reader():
+    assert batch_reader_for(_dgf_format("sequencefile")) is None
+
+
+# -------------------------------------------------- estimate_size regression
+def test_estimate_size_counts_numpy_scalars_like_python():
+    """NumPy int64/float64 leaking into shuffle accounting must weigh
+    exactly what the row engine's Python ints/floats weigh."""
+    np = pytest.importorskip("numpy")
+    assert estimate_size(5) == 8
+    assert estimate_size(np.int64(5)) == estimate_size(5)
+    assert estimate_size(np.float64(2.5)) == estimate_size(2.5)
+    assert (estimate_size((np.int64(1), np.float64(2.0)))
+            == estimate_size((1, 2.0)))
