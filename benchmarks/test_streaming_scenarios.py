@@ -1,0 +1,96 @@
+"""Benchmark: multi-tenant streaming traffic over the delta subsystem.
+
+Replays the four smart-grid traffic shapes from
+``repro.bench.streaming`` — steady ingest, billing scans, outage
+backfill, tariff hot spots — against a ``QueryService`` with a DGF
+index and an attached streaming-delta binding, the whole scenario under
+a seeded fault plan.  Per scenario the query battery's wall-clock is
+measured with the delta resident (merge-on-read) and again after
+compaction, with identical rows asserted between the two states inside
+the experiment.  The headline quantity is the **delta-resident latency
+overhead** (resident / compacted); the trajectory is appended to
+``BENCH_streaming.json`` at the repo root — one entry per day, like the
+other ``BENCH_*`` files.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench.streaming import SCENARIOS, streaming_scenarios
+
+pytestmark = pytest.mark.slow
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_streaming.json"
+
+
+@pytest.fixture(scope="module")
+def scenario_experiment():
+    return streaming_scenarios()
+
+
+def test_covers_all_four_scenarios(scenario_experiment):
+    recorded = scenario_experiment.data["scenarios"]
+    assert sorted(recorded) == sorted(name for name, _t, _q in SCENARIOS)
+    assert len(recorded) >= 4
+    for name, metrics in recorded.items():
+        assert metrics["ops"] > 0 and metrics["resident_ops"] > 0, name
+        assert metrics["resident_s"] > 0 and metrics["compacted_s"] > 0
+        assert metrics["overhead"] > 0
+
+
+def test_compaction_shapes_match_traffic(scenario_experiment):
+    """Insert-only traffic folds; upsert/delete traffic forces the
+    whole-file rewrite path."""
+    recorded = scenario_experiment.data["scenarios"]
+    steady = recorded["steady_ingest"]["compaction"]
+    assert steady["rewritten_cells"] == 0
+    assert steady["folded_rows"] == recorded["steady_ingest"]["ops"]
+    for name in ("billing_scan", "outage_backfill", "tariff_hotspot"):
+        compaction = recorded[name]["compaction"]
+        assert compaction["rewritten_cells"] > 0, name
+        assert compaction["suppressed_rows"] > 0, name
+    # net file shrink only where rows truly vanish; pure replacement
+    # (outage_backfill) reclaims old bytes but writes the same volume back
+    for name in ("billing_scan", "tariff_hotspot"):
+        assert recorded[name]["compaction"]["dead_bytes"] > 0, name
+
+
+def test_whole_scenario_ran_under_chaos(scenario_experiment):
+    assert scenario_experiment.data["chaos"]
+    for name, metrics in scenario_experiment.data["scenarios"].items():
+        injected = metrics["faults"]["injected"]
+        assert sum(injected.values()) > 0, f"{name}: no faults injected"
+
+
+def test_recorded_in_report(scenario_experiment):
+    assert scenario_experiment.exp_id == "streaming-scenarios"
+    rendered = scenario_experiment.markdown()
+    assert "tariff_hotspot" in rendered and "overhead" in rendered
+
+
+def test_writes_trajectory_file(scenario_experiment):
+    """Record the run in BENCH_streaming.json (one entry per day — same
+    replace-same-day protocol as BENCH_vectorized.json)."""
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    else:
+        document = {"bench": "streaming", "schema_version": 1,
+                    "unit": "seconds (wall-clock, best of rounds)",
+                    "trajectory": []}
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "rounds": scenario_experiment.data["rounds"],
+        "workers": scenario_experiment.data["workers"],
+        "chaos": scenario_experiment.data["chaos"],
+        "scenarios": scenario_experiment.data["scenarios"],
+    }
+    trajectory = [e for e in document["trajectory"]
+                  if e["date"] != entry["date"]]
+    trajectory.append(entry)
+    document["trajectory"] = trajectory
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True)
+                          + "\n")
+    assert json.loads(BENCH_PATH.read_text())["trajectory"][-1]["scenarios"]

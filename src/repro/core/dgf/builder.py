@@ -109,8 +109,15 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
                   policy: SplittingPolicy,
                   aggregates: List[CompiledAggregate],
                   input_paths: List[str], output_dir: str,
-                  generation: int) -> Tuple[JobStats, int]:
-    """The reorganization MapReduce job.  Returns (job stats, #slices)."""
+                  generation: int,
+                  compacted_seq: int = 0) -> Tuple[JobStats, int]:
+    """The reorganization MapReduce job.  Returns (job stats, #slices).
+
+    ``compacted_seq`` is the streaming compactor's fold watermark: it is
+    written on the reducer's GFUValue *in the same put* as the merged
+    header and slice locations, so a concurrent reader can never observe
+    folded rows without the watermark that suppresses their delta ops.
+    """
     store = DgfStore(session.kvstore, table.name, index.name)
     dim_positions = [table.schema.index_of(name) for name in policy.names]
     merge_fns = {agg.key: agg.function for agg in aggregates}
@@ -138,7 +145,8 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
         header.update(states)
         value = GFUValue(header=header,
                          locations=[SliceLocation(writer.path, start, end)],
-                         records=len(rows))
+                         records=len(rows),
+                         compacted_seq=compacted_seq)
         store.merge_value(gfu_key, value, merge_fns)
         # Task-local counter (merged at the reduce barrier): safe under the
         # parallel engine, unlike a shared closure cell.
@@ -350,6 +358,16 @@ def append_with_dgf(session, table_name: str, index_name: str,
             table.schema.validate_row(row)
             writer.write_row(row)
             count += 1
+
+    if count == 0:
+        # Nothing to reorganize: no job, no new files, no generation bump.
+        session.fs.delete(staging, recursive=True)
+        return BuildReport(
+            index_name=index.name, handler="dgf",
+            index_size_bytes=store.size_bytes(),
+            build_time=session.cost_model.job_seconds(JobStats()),
+            details={"appended_rows": 0, "new_slices": 0,
+                     "generation": generation - 1})
 
     kv_before = session.kvstore.snapshot_stats()
     output_dir = table.properties["dgf_data_location"]

@@ -47,6 +47,10 @@ class GFUValue:
     header: Dict[str, Any] = field(default_factory=dict)
     locations: List[SliceLocation] = field(default_factory=list)
     records: int = 0
+    #: streaming watermark: every delta op with ``seq <= compacted_seq``
+    #: has been folded into the slices above.  Merge-on-read skips those
+    #: ops; 0 (the default, and every pre-streaming value) gates nothing.
+    compacted_seq: int = 0
 
     def merge(self, other: "GFUValue", merge_fns: Dict[str, Any]) -> None:
         """Fold another build generation's value into this one (appends).
@@ -63,3 +67,4 @@ class GFUValue:
                 self.header[key] = state
         self.locations.extend(other.locations)
         self.records += other.records
+        self.compacted_seq = max(self.compacted_seq, other.compacted_seq)

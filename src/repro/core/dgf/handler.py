@@ -97,19 +97,49 @@ class DgfIndexHandler(IndexHandler):
             search_span.add("inner_keys", len(search.inner_keys))
             search_span.add("boundary_keys", len(search.boundary_keys))
 
+        # Merge-on-read: resident streaming deltas overlapping the query
+        # region become tombstone filters + synthetic delta splits.  The
+        # span (and the plan's delta fields) only appears when a candidate
+        # cell is resident, so delta-free queries trace byte-identically
+        # to the pre-streaming engine.
+        binding = session.delta_binding(table.name)
+        if binding is not None and not binding.serves(index.name):
+            binding = None
+        overlay = None
+        if binding is not None and binding.overlapping_cells(intervals):
+            with tracer.span("delta:merge") as merge_span:
+                overlay = binding.build_overlay(intervals)
+                merge_span.add("delta.cells", overlay.num_cells)
+                merge_span.add("delta.rows", overlay.num_rows)
+                merge_span.add("delta.suppressed", overlay.num_suppressed)
+
+        inner_keys = list(search.inner_keys)
+        boundary_keys = list(search.boundary_keys)
+        if overlay is not None and agg_path and overlay.has_suppression:
+            # An inner cell with tombstones can no longer be answered from
+            # its pre-computed header (the header still counts suppressed
+            # rows); demote it to the boundary scan.  Pending-only cells
+            # keep their headers — their delta rows arrive via synthetic
+            # splits and merge additively.
+            demoted = [k for k in inner_keys if k in overlay.suppress]
+            if demoted:
+                inner_keys = [k for k in inner_keys
+                              if k not in overlay.suppress]
+                boundary_keys = boundary_keys + demoted
+
         header_states: Optional[Dict[str, Any]] = None
         slices: List[SliceLocation] = []
         inner_hits = boundary_hits = 0
         if agg_path:
             with tracer.span("dgf.inner_headers") as inner_span:
-                inner_values = store.multi_get(search.inner_keys)
+                inner_values = store.multi_get(inner_keys)
                 inner_hits = len(inner_values)
                 header_states = self._merge_headers(ctx.agg_keys,
                                                     inner_values.values())
                 inner_span.add("gfus", inner_hits)
                 inner_span.add("headers_merged", len(header_states))
             with tracer.span("dgf.boundary_slices") as boundary_span:
-                boundary_values = store.multi_get(search.boundary_keys)
+                boundary_values = store.multi_get(boundary_keys)
                 boundary_hits = len(boundary_values)
                 for value in boundary_values.values():
                     slices.extend(value.locations)
@@ -134,17 +164,31 @@ class DgfIndexHandler(IndexHandler):
         # not a physical-op delta — so the simulated time is identical
         # whether the metadata came from the KV store or the GFU cache,
         # and concurrent queries cannot pollute each other's accounting.
-        probes = len(search.inner_keys) + len(search.boundary_keys)
+        # The overlay adds its own deterministic probe count (delta cell +
+        # base watermark per candidate cell).
+        probes = len(inner_keys) + len(boundary_keys)
+        input_format = DgfSliceInputFormat(table)
+        description = (f"dgf({index.name}) "
+                       f"mode={'agg-headers' if agg_path else 'slices'} "
+                       f"inner={inner_hits} boundary={boundary_hits} "
+                       f"splits={len(splits)}/{total_splits}")
+        delta_cells = delta_rows = 0
+        if overlay is not None:
+            from repro.delta.overlay import DeltaOverlayInputFormat
+            probes += overlay.probes
+            input_format = DeltaOverlayInputFormat(input_format, overlay)
+            splits = splits + overlay.synthetic_splits()
+            delta_cells = overlay.num_cells
+            delta_rows = overlay.num_rows
+            description += f" delta={overlay.num_cells}"
         kv_logical = KVStats(gets=probes)
         index_time = session.cost_model.kv_seconds(kv_logical)
 
         mode = "agg-headers" if agg_path else "slices"
         return IndexAccessPlan(
-            description=(f"dgf({index.name}) mode={mode} "
-                         f"inner={inner_hits} boundary={boundary_hits} "
-                         f"splits={len(splits)}/{total_splits}"),
+            description=description,
             splits=splits,
-            input_format=DgfSliceInputFormat(table),
+            input_format=input_format,
             index_time=index_time,
             header_states=header_states,
             handler=self.handler_name,
@@ -152,7 +196,9 @@ class DgfIndexHandler(IndexHandler):
             inner_gfus=inner_hits,
             boundary_gfus=boundary_hits,
             total_splits=total_splits,
-            index_kv_gets=probes)
+            index_kv_gets=probes,
+            delta_cells=delta_cells,
+            delta_rows=delta_rows)
 
     # ----------------------------------------------------------------- pieces
     def _aggregation_path_applies(self, ctx: QueryIndexContext, policy,

@@ -31,6 +31,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.service.cache import GfuMetadataCache
 
 
+def cached_fetch(kvstore: KVStore, cache: Optional["GfuMetadataCache"],
+                 full_keys: List[str]) -> Dict[str, Any]:
+    """Fetch ``full_keys``, serving from the cache when possible.
+
+    Returns only present keys.  The logical get count (one per probed
+    key, hit or miss, found or not) is replayed onto the active trace
+    span; physical reads for the misses happen inside a detached
+    ``cache.fill`` span so the query's span tree is cache-agnostic.
+    Shared by :class:`DgfStore` and
+    :class:`~repro.delta.store.DeltaStore` — all planner-visible KV
+    metadata reads go through this one accounting path.
+    """
+    if cache is None:
+        return kvstore.multi_get(full_keys)
+    from repro.service.cache import MISSING
+    hits, missing = cache.lookup(full_keys)
+    kvstore.note_cached_gets(len(full_keys))
+    fetched: Dict[str, Any] = {}
+    if missing:
+        with cache.fill_scope(kvstore.tracer, len(missing)):
+            fetched = kvstore.multi_get(missing)
+        cache.fill(missing, fetched)
+    # Preserve probe order exactly as KVStore.multi_get does: header
+    # aggregation folds floats in result-iteration order, so a
+    # hits-then-misses dict would change sums on mixed lookups.
+    return {key: value for key in full_keys
+            if (value := hits.get(key, fetched.get(key))) is not None
+            and value is not MISSING}
+
+
 class DgfStore:
     """Typed access to one index's slice of the key-value store."""
 
@@ -43,30 +73,7 @@ class DgfStore:
 
     # ------------------------------------------------------------ cache path
     def _cached_fetch(self, full_keys: List[str]) -> Dict[str, Any]:
-        """Fetch ``full_keys``, serving from the cache when possible.
-
-        Returns only present keys.  The logical get count (one per probed
-        key, hit or miss, found or not) is replayed onto the active trace
-        span; physical reads for the misses happen inside a detached
-        ``cache.fill`` span so the query's span tree is cache-agnostic.
-        """
-        cache = self.cache
-        if cache is None:
-            return self.kvstore.multi_get(full_keys)
-        from repro.service.cache import MISSING
-        hits, missing = cache.lookup(full_keys)
-        self.kvstore.note_cached_gets(len(full_keys))
-        fetched: Dict[str, Any] = {}
-        if missing:
-            with cache.fill_scope(self.kvstore.tracer, len(missing)):
-                fetched = self.kvstore.multi_get(missing)
-            cache.fill(missing, fetched)
-        # Preserve probe order exactly as KVStore.multi_get does: header
-        # aggregation folds floats in result-iteration order, so a
-        # hits-then-misses dict would change sums on mixed lookups.
-        return {key: value for key in full_keys
-                if (value := hits.get(key, fetched.get(key))) is not None
-                and value is not MISSING}
+        return cached_fetch(self.kvstore, self.cache, full_keys)
 
     # ------------------------------------------------------------ GFU values
     def gfu_key(self, cell_key: str) -> str:

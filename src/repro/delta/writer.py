@@ -1,0 +1,174 @@
+"""StreamingWriter: the admission-controlled ingest path.
+
+DualTable gives writers their own door into the system, beside the query
+door: streamed inserts/upserts/deletes land in the KV delta store
+immediately instead of waiting for the next bulk reorganization.  The
+writer buffers ops client-side and flushes them in batches (one KV
+read-modify-write per touched grid cell per flush), honouring the same
+:mod:`repro.service.queryservice` health signals queries do:
+
+* a **closed** service refuses new ops (:class:`ServiceClosedError`);
+* a **degraded** service sheds writes when ``shed_when_degraded`` is set
+  (:class:`ServiceDegradedError` — transient, retry after the window);
+* a full client buffer raises :class:`ServiceOverloadedError` rather
+  than growing without bound.
+
+When ``compact_threshold`` is set, a flush that leaves at least that
+many resident ops triggers a synchronous :class:`Compactor` run — the
+simplest stand-in for DualTable's background merge daemon, and exactly
+as observable (``delta:compact`` span, ``delta_compactions_total``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.delta.compact import CompactionReport, Compactor
+from repro.delta.store import DeltaBinding
+from repro.errors import (ServiceClosedError, ServiceDegradedError,
+                          ServiceOverloadedError)
+
+
+class StreamingWriter:
+    """Buffered, admission-controlled writer for one table's delta store.
+
+    Usually obtained from
+    :meth:`repro.service.queryservice.QueryService.streaming_writer`;
+    standalone construction (``service=None``) skips service admission
+    but keeps the buffer bound.
+    """
+
+    def __init__(self, binding: DeltaBinding, service=None,
+                 batch_size: int = 256, buffer_limit: int = 65536,
+                 shed_when_degraded: bool = False,
+                 compact_threshold: Optional[int] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if buffer_limit < batch_size:
+            raise ValueError("buffer_limit must be >= batch_size")
+        self.binding = binding
+        self.service = service
+        self.batch_size = batch_size
+        self.buffer_limit = buffer_limit
+        self.shed_when_degraded = shed_when_degraded
+        self.compact_threshold = compact_threshold
+        self._buffer: List[Tuple[str, Sequence[Any]]] = []
+        self._accepted = 0
+        self._flushed = 0
+        self._compactions: List[CompactionReport] = []
+        self._closed = False
+
+    # ------------------------------------------------------------- admission
+    def _admit(self, count: int) -> None:
+        if self._closed:
+            raise ServiceClosedError(
+                f"streaming writer for {self.binding.table.name!r} is "
+                "closed")
+        service = self.service
+        if service is not None:
+            if service.closed:
+                raise ServiceClosedError(
+                    "query service is closed; streaming writes refused")
+            if self.shed_when_degraded and service.degraded:
+                raise ServiceDegradedError(
+                    "query service is degraded; shedding streaming writes")
+        if len(self._buffer) + count > self.buffer_limit:
+            raise ServiceOverloadedError(
+                f"streaming buffer full ({self.buffer_limit} ops); flush "
+                "or raise buffer_limit")
+
+    def _enqueue(self, kind: str, payloads: Sequence[Sequence[Any]]) -> int:
+        payloads = list(payloads)
+        self._admit(len(payloads))
+        for payload in payloads:
+            self._buffer.append((kind, payload))
+        self._accepted += len(payloads)
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+        return len(payloads)
+
+    # ------------------------------------------------------------------ ops
+    def insert(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Buffer full rows for insertion."""
+        return self._enqueue("insert", rows)
+
+    def upsert(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Buffer full rows that replace any row with the same key."""
+        return self._enqueue("upsert", rows)
+
+    def delete(self, keys: Sequence[Sequence[Any]]) -> int:
+        """Buffer key tuples (the binding's ``key_columns`` order) whose
+        rows must disappear."""
+        return self._enqueue("delete", keys)
+
+    # ---------------------------------------------------------------- flush
+    def flush(self) -> int:
+        """Write every buffered op to the delta store; returns the count."""
+        if not self._buffer:
+            return 0
+        ops, self._buffer = self._buffer, []
+        count = self.binding.ingest(ops)
+        self._flushed += count
+        metrics = self.binding.session.metrics
+        counter = metrics.counter("delta_ops_total",
+                                  "streaming ops written to delta cells")
+        for kind, _payload in ops:
+            counter.inc(kind=kind)
+        metrics.gauge(
+            "delta_resident_ops",
+            "delta ops resident (unfolded) in the KV store").set(
+                self.binding.resident_ops)
+        if (self.compact_threshold is not None
+                and self.binding.resident_ops >= self.compact_threshold):
+            self._compactions.append(self.compact())
+        return count
+
+    def compact(self, cells: Optional[Sequence[str]] = None
+                ) -> CompactionReport:
+        """Flush, then fold resident deltas into the base synchronously."""
+        if self._buffer:
+            self.flush()
+        return Compactor(self.binding).run(cells)
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending_ops(self) -> int:
+        """Ops buffered client-side, not yet in the delta store."""
+        return len(self._buffer)
+
+    @property
+    def accepted_ops(self) -> int:
+        return self._accepted
+
+    @property
+    def flushed_ops(self) -> int:
+        return self._flushed
+
+    @property
+    def compactions(self) -> Tuple[CompactionReport, ...]:
+        """Reports from threshold-triggered compactions (not manual ones)."""
+        return tuple(self._compactions)
+
+    def close(self) -> None:
+        """Flush remaining ops and refuse further writes."""
+        if self._closed:
+            return
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+
+    def __enter__(self) -> "StreamingWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Don't flush on an exception path: the caller is unwinding and a
+        # partial batch may be the very thing that failed.
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True

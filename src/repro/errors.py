@@ -135,6 +135,11 @@ class DGFError(IndexError_):
     """DGFIndex-specific errors (bad splitting policy, missing metadata)."""
 
 
+class DeltaError(ReproError):
+    """Streaming-delta errors (bad op kinds, missing key columns,
+    compaction misuse)."""
+
+
 class ServiceError(ReproError):
     """Errors from the concurrent query service."""
 

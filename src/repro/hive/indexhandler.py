@@ -90,6 +90,13 @@ class IndexAccessPlan:
     #: measured index-access facts, reported alongside modelled time
     index_records_scanned: int = 0
     index_kv_gets: int = 0
+    #: merge-on-read overlay (streaming deltas resident in the query
+    #: region): cells contributing delta rows/tombstones, and the delta
+    #: rows injected as synthetic splits.  0/0 whenever no delta is
+    #: resident, keeping pre-streaming plans (and their fingerprints)
+    #: byte-identical.
+    delta_cells: int = 0
+    delta_rows: int = 0
 
 
 @dataclass

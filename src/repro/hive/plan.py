@@ -43,6 +43,11 @@ class Plan:
     #: the scan job runs on the columnar engine (``ExecutionConfig(
     #: vectorized=True)`` and the scan is batch-decodable)
     vectorized: bool = False
+    #: merge-on-read: resident streaming-delta cells and rows composed
+    #: into this scan (0/0 when no delta is resident — the plan then
+    #: renders exactly as before streaming existed)
+    delta_cells: int = 0
+    delta_rows: int = 0
     #: executed span tree (populated only after execution, i.e. for
     #: ``QueryResult.plan`` and ``EXPLAIN ANALYZE``)
     trace: Optional[Trace] = None
@@ -113,6 +118,11 @@ class Plan:
         else:
             lines.append("index: none (full scan)")
         lines.append(f"splits: {self.splits}")
+        if self.delta_cells or self.delta_rows:
+            # Only emitted when a delta is resident, so pre-streaming plan
+            # text and fingerprints are unchanged.
+            lines.append(f"delta: merge-on-read cells={self.delta_cells} "
+                         f"rows={self.delta_rows}")
         if self.vectorized:
             # Only emitted when on, so the row engine's plan text (and
             # every fingerprint built from it) is unchanged.
@@ -146,7 +156,7 @@ class Plan:
                 "index_kv_gets": access.index_kv_gets,
                 "index_records_scanned": access.index_records_scanned,
             }
-        return {
+        summary = {
             "table": self.table,
             "stored_as": self.stored_as,
             "shape": self.shape,
@@ -155,3 +165,7 @@ class Plan:
             "vectorized": self.vectorized,
             "index": index,
         }
+        if self.delta_cells or self.delta_rows:
+            summary["delta_cells"] = self.delta_cells
+            summary["delta_rows"] = self.delta_rows
+        return summary

@@ -164,6 +164,11 @@ class HiveSession:
             self.kvstore.add_write_listener(self.metadata_cache.on_write)
         self._handlers: Dict[str, IndexHandler] = {}
         self._load_counters: Dict[str, int] = {}
+        # Streaming delta bindings, one per table (lowercased name).  A
+        # bound table's reads merge resident KV delta ops on the fly; see
+        # repro.delta.  Attached via attach_delta() / the query service's
+        # streaming_writer().
+        self._delta_bindings: Dict[str, Any] = {}
         self._register_default_handlers()
 
     def set_data_scale(self, data_scale: float) -> None:
@@ -196,6 +201,41 @@ class HiveSession:
         from repro.core.dgf.store import DgfStore
         return DgfStore(self.kvstore, table, index,
                         cache=self.metadata_cache)
+
+    # ------------------------------------------------------------- streaming
+    def attach_delta(self, table: str, index: str,
+                     key_columns: Optional[Sequence[str]] = None):
+        """Bind a KV delta store to ``table``'s DGF ``index`` so streamed
+        inserts/upserts/deletes are merged into every subsequent read
+        (:class:`~repro.delta.store.DeltaBinding`).  Idempotent for the
+        same index; rebinding a table to a different index raises."""
+        from repro.delta.store import DeltaBinding
+        from repro.errors import DeltaError
+        info = self.metastore.get_table(table)
+        existing = self._delta_bindings.get(info.name.lower())
+        if existing is not None:
+            if not existing.serves(index):
+                raise DeltaError(
+                    f"table {info.name!r} already streams into index "
+                    f"{existing.index.name!r}; detach_delta() first")
+            return existing
+        binding = DeltaBinding(self, info,
+                               self.metastore.get_index(table, index),
+                               key_columns=key_columns)
+        self._delta_bindings[info.name.lower()] = binding
+        return binding
+
+    def delta_binding(self, table: str):
+        """The table's live :class:`DeltaBinding`, or ``None``."""
+        return self._delta_bindings.get(table.lower())
+
+    def detach_delta(self, table: str, clear: bool = False):
+        """Unbind the table's delta store.  ``clear=True`` also deletes
+        its resident KV ops (otherwise they survive for a re-attach)."""
+        binding = self._delta_bindings.pop(table.lower(), None)
+        if binding is not None and clear:
+            binding.clear()
+        return binding
 
     def _invalidate_table_cache(self, table: str) -> None:
         if self.metadata_cache is not None:
@@ -268,7 +308,14 @@ class HiveSession:
             return QueryResult(columns=["result"], rows=[("SKIPPED",)])
         for index in self.metastore.indexes_on(stmt.name):
             self.handler(index.handler).drop(self, index)
+            # Persisted streaming deltas ride the index's lifecycle even
+            # when no binding is attached this session.
+            from repro.delta.store import DeltaStore
+            DeltaStore(self.kvstore, stmt.name, index.name).clear()
+        self._delta_bindings.pop(stmt.name.lower(), None)
         self._invalidate_table_cache(stmt.name)
+        if self.metadata_cache is not None:
+            self.metadata_cache.invalidate_streaming(stmt.name)
         info = self.metastore.drop_table(stmt.name)
         if self.fs.exists(info.location):
             self.fs.delete(info.location, recursive=True)
@@ -309,6 +356,14 @@ class HiveSession:
     def rebuild_index(self, table: str, name: str) -> BuildReport:
         """ALTER INDEX ... REBUILD equivalent (also used after appends)."""
         info = self.metastore.get_index(table, name)
+        binding = self.delta_binding(table)
+        if (binding is not None and binding.serves(name)
+                and binding.resident_ops):
+            from repro.errors import DeltaError
+            raise DeltaError(
+                f"index {name!r} has {binding.resident_ops} resident "
+                "streaming ops; compact or clear the delta before "
+                "rebuilding")
         self._invalidate_index_cache(table, name)
         report = self.handler(info.handler).build(self, info)
         info.state["build_report"] = report
@@ -417,6 +472,13 @@ class HiveSession:
 
         # Join build sides (Hive's local map-join hash-table task).
         if analysis.joins:
+            for step in analysis.joins:
+                side = self.delta_binding(step.table.name)
+                if side is not None and side.resident_cells:
+                    raise ExecutionError(
+                        f"join build side {step.table.name!r} has resident "
+                        "streaming deltas; compact them before joining "
+                        "(hash tables are built from base files only)")
             with self.tracer.span("join_build",
                                   joins=len(analysis.joins)) as join_span:
                 build_stats = hexec.load_join_hash_tables(self.fs, analysis)
@@ -430,7 +492,8 @@ class HiveSession:
             stats.records_read += build_stats.map_input_records
             stats.bytes_read += build_stats.map_input_bytes
 
-        splits, input_format = self._resolve_splits(analysis, plan)
+        splits, input_format, delta_info = self._resolve_splits(analysis,
+                                                                plan)
         header_states = plan.header_states if plan is not None else None
         rewrite_grouped = plan.rewrite_grouped if plan is not None else None
         if rewrite_grouped is not None:
@@ -514,7 +577,8 @@ class HiveSession:
         root.add("splits_processed", stats.splits_processed)
         self._record_query_metrics(shape, plan, stats)
         query_plan = self._make_plan(analysis, plan, len(splits),
-                                     vectorized=vectorized)
+                                     vectorized=vectorized,
+                                     delta=delta_info)
         return QueryResult(columns=list(analysis.output_names), rows=rows,
                            stats=stats,
                            description=query_plan.render(),
@@ -604,6 +668,12 @@ class HiveSession:
                 raise MetastoreError(
                     f"forced index {options.index_name!r} not found on "
                     f"{table.name!r}")
+        binding = self.delta_binding(table.name)
+        if binding is not None and binding.resident_cells:
+            # Merge-on-read only understands the bound index's grid: any
+            # other access path would miss resident delta rows.  A table
+            # with no resident ops plans exactly as an unbound one.
+            indexes = [i for i in indexes if binding.serves(i.name)]
         group_columns: Optional[List[str]] = []
         for expr in analysis.group_exprs:
             if isinstance(expr, ast.ColumnRef):
@@ -634,17 +704,45 @@ class HiveSession:
 
     def _resolve_splits(self, analysis: hexec.AnalyzedSelect,
                         plan: Optional[IndexAccessPlan]):
+        """Returns ``(splits, input_format, delta_info)``.
+
+        ``delta_info`` is ``(cells, rows)`` when this *full-scan* path
+        composed a merge-on-read overlay itself; index plans carry their
+        overlay stats on the :class:`IndexAccessPlan` instead.
+        """
         table = analysis.table
         if plan is not None:
             fmt = plan.input_format
             if fmt is None:
                 fmt = formats.input_format_for(
                     table, columns=self._pruned_columns(analysis))
-            return plan.splits, fmt
-        fmt = formats.input_format_for(
-            table, columns=self._pruned_columns(analysis))
+            return plan.splits, fmt, None
+        binding = self.delta_binding(table.name)
+        if binding is not None and not binding.resident_cells:
+            binding = None
+        columns = self._pruned_columns(analysis)
+        if binding is not None and columns is not None:
+            # Widen RCFile pruning so cell/key routing for tombstones sees
+            # the dimension and key columns (pruned positions read None).
+            have = {c.lower() for c in columns}
+            columns = list(columns) + [c for c in binding.required_columns
+                                       if c.lower() not in have]
+        fmt = formats.input_format_for(table, columns=columns)
         paths = self._pruned_paths(analysis)
-        return fmt.get_splits(self.fs, paths), fmt
+        splits = fmt.get_splits(self.fs, paths)
+        if binding is None:
+            return splits, fmt, None
+        from repro.delta.overlay import DeltaOverlayInputFormat
+        with self.tracer.span("delta:merge") as merge_span:
+            overlay = binding.build_overlay(None)
+            if overlay is None:  # pragma: no cover - resident check above
+                return splits, fmt, None
+            merge_span.add("delta.cells", overlay.num_cells)
+            merge_span.add("delta.rows", overlay.num_rows)
+            merge_span.add("delta.suppressed", overlay.num_suppressed)
+        return (splits + overlay.synthetic_splits(),
+                DeltaOverlayInputFormat(fmt, overlay),
+                (overlay.num_cells, overlay.num_rows))
 
     def _pruned_columns(self, analysis: hexec.AnalyzedSelect):
         if analysis.table.stored_as.upper() == formats.RCFILE:
@@ -699,15 +797,24 @@ class HiveSession:
 
     def _make_plan(self, analysis: hexec.AnalyzedSelect,
                    access: Optional[IndexAccessPlan],
-                   num_splits: int, vectorized: bool = False) -> Plan:
+                   num_splits: int, vectorized: bool = False,
+                   delta: Optional[Tuple[int, int]] = None) -> Plan:
         shape = "group/aggregate" if analysis.is_group_query else "projection"
+        if delta is not None:
+            delta_cells, delta_rows = delta
+        elif access is not None:
+            delta_cells, delta_rows = access.delta_cells, access.delta_rows
+        else:
+            delta_cells = delta_rows = 0
         return Plan(table=analysis.table.name,
                     stored_as=analysis.table.stored_as,
                     shape=shape,
                     joins=len(analysis.joins),
                     splits=num_splits,
                     access=access,
-                    vectorized=vectorized)
+                    vectorized=vectorized,
+                    delta_cells=delta_cells,
+                    delta_rows=delta_rows)
 
     def _explain(self, stmt: ast.SelectStmt, options: QueryOptions,
                  analyze: bool = False) -> QueryResult:
@@ -725,7 +832,7 @@ class HiveSession:
                                plan=result.plan)
         analysis = hexec.analyze(self.metastore, stmt)
         access = self._plan_access(analysis, options)
-        splits, fmt = self._resolve_splits(analysis, access)
+        splits, fmt, delta_info = self._resolve_splits(analysis, access)
         # Mirror _run_select's decision: an index rewrite answers from GFU
         # headers without a scan job, so nothing would be vectorized.
         rewrite = access.rewrite_grouped if access is not None else None
@@ -733,7 +840,8 @@ class HiveSession:
             splits and rewrite is None
             and self._vector_plan(analysis, fmt) is not None)
         query_plan = self._make_plan(analysis, access, len(splits),
-                                     vectorized=vectorized)
+                                     vectorized=vectorized,
+                                     delta=delta_info)
         text = query_plan.render()
         return QueryResult(columns=["plan"],
                            rows=[(line,) for line in text.split("\n")],

@@ -100,8 +100,12 @@ class CacheStats:
 
 
 def _kind_of(key: str) -> str:
-    """Metric label: GFU entry vs index metadata."""
-    return "meta" if key.startswith("dgfmeta:") else "gfu"
+    """Metric label: GFU entry, index metadata or streaming-delta entry."""
+    if key.startswith("dgfmeta:"):
+        return "meta"
+    if key.startswith(("delta:", "deltameta:")):
+        return "delta"
+    return "gfu"
 
 
 def _entry_size(key: str, value: Any) -> int:
@@ -270,6 +274,12 @@ class GfuMetadataCache:
         Covers every mutation path — builds, appends (header merges and
         new GFU entries over previously-negative cells), metadata updates
         and deletes — without the writers knowing the cache exists.
+
+        Streaming-delta writes (``delta:``/``deltameta:`` keys) go through
+        here too, and deliberately evict *only their exact key*: a
+        high-rate ingest stream must never flush the base GFU headers and
+        bounds that make concurrent query planning cheap.  Base rebuilds
+        are the opposite case and use the namespace invalidations below.
         """
         with self._lock:
             entry = self._entries.pop(key, None)
@@ -300,10 +310,42 @@ class GfuMetadataCache:
                 + self.invalidate_prefix(f"dgfmeta:{ns}"))
 
     def invalidate_table(self, table: str) -> int:
-        """Full invalidation of every index on ``table`` (append path)."""
+        """Full invalidation of every index on ``table`` (append path).
+
+        Deliberately does *not* touch ``delta:`` entries: appended base
+        files don't change resident streaming ops, and delta mutations
+        already self-invalidate exactly via :meth:`on_write`.
+        """
         t = table.lower()
         return (self.invalidate_prefix(f"dgf:{t}:")
                 + self.invalidate_prefix(f"dgfmeta:{t}:"))
+
+    def invalidate_cells(self, table: str, index: str,
+                         cells: Iterable[str]) -> int:
+        """Exact invalidation of specific grid cells (base GFU entry and
+        delta op list) — what a targeted compaction needs: the untouched
+        cells' cached metadata stays hot."""
+        ns = f"{table.lower()}:{index.lower()}"
+        dropped = 0
+        with self._lock:
+            for cell in cells:
+                for key in (f"dgf:{ns}:{cell}", f"delta:{ns}:{cell}"):
+                    entry = self._entries.pop(key, None)
+                    if entry is not None:
+                        self._bytes -= entry[1]
+                        dropped += 1
+            if dropped:
+                self.stats.invalidations += dropped
+                self._note_invalidations(dropped)
+                self._publish_gauges()
+        return dropped
+
+    def invalidate_streaming(self, table: str) -> int:
+        """Drop every streaming-delta entry of ``table`` (including
+        negative entries), for DROP TABLE / detach-with-clear."""
+        t = table.lower()
+        return (self.invalidate_prefix(f"delta:{t}:")
+                + self.invalidate_prefix(f"deltameta:{t}:"))
 
     def _note_invalidations(self, count: int) -> None:
         if self._metrics is not None:

@@ -261,6 +261,26 @@ class QueryService:
             window_error=total - ok,
             queue_depth=self._queue.qsize())
 
+    # ------------------------------------------------------------ streaming
+    def streaming_writer(self, table: str, index: str,
+                         key_columns: Optional[Sequence[str]] = None,
+                         **kwargs):
+        """The write-side door: an admission-controlled
+        :class:`~repro.delta.writer.StreamingWriter` whose ops land in the
+        table's KV delta store and are merged on read by every statement
+        this service runs.  ``kwargs`` pass through to the writer
+        (``batch_size``, ``buffer_limit``, ``compact_threshold``, ...);
+        ``shed_when_degraded`` defaults to the service's own setting so
+        writes and queries shed together.
+        """
+        if self._closed:
+            raise ServiceClosedError("query service is closed")
+        from repro.delta.writer import StreamingWriter
+        binding = self.session.attach_delta(table, index,
+                                            key_columns=key_columns)
+        kwargs.setdefault("shed_when_degraded", self.shed_when_degraded)
+        return StreamingWriter(binding, service=self, **kwargs)
+
     # ------------------------------------------------------------ lifecycle
     @property
     def closed(self) -> bool:

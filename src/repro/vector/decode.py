@@ -31,6 +31,8 @@ import bisect
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.dgf.inputformat import SLICES_META_KEY, DgfSliceInputFormat
+from repro.delta.overlay import (DELTA_ROWS_META_KEY,
+                                 DeltaOverlayInputFormat)
 from repro.hive import formats as hive_formats
 from repro.mapreduce.splits import (FileSplit, RCFileRowInputFormat,
                                     TextRowInputFormat)
@@ -206,11 +208,42 @@ class DgfRCFileBatchReader:
                 yield ColumnBatch(self.schema, nrows, decoded)
 
 
+class DeltaOverlayBatchReader:
+    """Batches for a merge-on-read scan.
+
+    Base splits without tombstones delegate to the wrapped format's own
+    batch reader — identical preads, identical batches.  Synthetic
+    ``delta://`` splits (and, with tombstones resident, filtered base
+    splits) materialize the overlay's *row-path* output into plain-list
+    columns: the strict fallback, exact by construction because it reads
+    through :meth:`DeltaOverlayInputFormat.read_split` itself.
+    """
+
+    def __init__(self, fmt, inner):
+        self.fmt = fmt          # the DeltaOverlayInputFormat
+        self.inner = inner      # base batch reader, or None
+        self.schema = fmt.schema
+
+    def read_batches(self, fs, split: FileSplit) -> Iterator[ColumnBatch]:
+        if DELTA_ROWS_META_KEY not in split.meta and self.inner is not None:
+            yield from self.inner.read_batches(fs, split)
+            return
+        rows = [row for _offset, row in self.fmt.read_split(fs, split)]
+        if rows:
+            yield ColumnBatch(self.schema, len(rows),
+                              [list(col) for col in zip(*rows)])
+
+
 def batch_reader_for(input_format) -> Optional[Any]:
     """The batch reader equivalent to a row input format, or ``None`` when
     the format has no columnar decoder (sequence files, filtered RCFile
     scans, unknown formats) — in which case the whole scan stays on the
     row engine."""
+    if type(input_format) is DeltaOverlayInputFormat:
+        inner = None
+        if not input_format.overlay.has_suppression:
+            inner = batch_reader_for(input_format.inner)
+        return DeltaOverlayBatchReader(input_format, inner)
     if type(input_format) is TextRowInputFormat:
         return TextBatchReader(input_format.schema)
     if type(input_format) is RCFileRowInputFormat:

@@ -166,6 +166,29 @@ class TestCursor:
         assert cur.rowcount == 5
         assert len(cur.fetchall()) == 2  # last statement's rows
 
+    def test_executemany_empty_sequence_is_a_noop(self, conn):
+        cur = conn.cursor()
+        cur.execute("SELECT count(*) FROM meterdata")
+        cur.executemany("SELECT userid FROM meterdata WHERE userid = ?",
+                        [])
+        # no statement ran: the previous result, rowcount and rows stand
+        assert cur.rowcount == 1
+        assert cur.fetchone() == (1200,)
+        fresh = conn.cursor()
+        fresh.executemany("SELECT ?", [])
+        assert fresh.rowcount == -1 and fresh.result is None
+
+    def test_executemany_mismatch_mid_batch_stops_there(self, conn):
+        cur = conn.cursor()
+        with pytest.raises(InterfaceError):
+            cur.executemany(
+                "SELECT userid FROM meterdata WHERE userid >= ? AND "
+                "userid < ? AND ts >= '2012-12-01' AND ts < '2012-12-02'",
+                [(0, 3), (3,), (3, 5)])  # second set is short one value
+        # the first set ran and installed its result; the third never ran
+        assert cur.rowcount == 3
+        assert [r[0] for r in cur.fetchall()] == [0, 1, 2]
+
     def test_plan_exposed_on_cursor(self, conn):
         cur = conn.cursor().execute(
             "SELECT sum(powerconsumed) FROM meterdata "

@@ -1,0 +1,294 @@
+"""Unit tests for the streaming-delta subsystem (ISSUE 7).
+
+The differential contract lives in ``tests/test_delta_differential.py``;
+this file pins the component behaviours: binding validation and
+attach/detach semantics, writer admission control, compaction reports,
+the planner guards (join build sides, index rebuild) and the delta
+observability surface (EXPLAIN residency line, plan fields, metrics).
+"""
+
+import pytest
+
+from repro.delta import Compactor, DeltaStore, StreamingWriter
+from repro.errors import (DeltaError, ExecutionError, ServiceClosedError,
+                          ServiceDegradedError, ServiceOverloadedError)
+from repro.service.queryservice import QueryService
+
+from tests.harness.streaming import (INDEX, KEY_COLUMNS, TABLE,
+                                     apply_stream, make_session)
+
+MDRQ = ("SELECT sum(powerconsumed), count(*) FROM {t} "
+        "WHERE userid >= 10 AND userid < 30 AND ts >= 100 AND ts < 104"
+        ).format(t=TABLE)
+
+
+def attach(session, **kwargs):
+    kwargs.setdefault("key_columns", list(KEY_COLUMNS))
+    return session.attach_delta(TABLE, INDEX, **kwargs)
+
+
+# ------------------------------------------------------------------- binding
+class TestBinding:
+    def test_key_columns_must_cover_every_dimension(self):
+        session = make_session()
+        with pytest.raises(DeltaError, match="every index dimension"):
+            attach(session, key_columns=["userid"])  # ts missing
+
+    def test_upsert_and_delete_need_key_columns(self):
+        session = make_session()
+        binding = attach(session, key_columns=None)
+        assert binding.ingest([("insert", (3, 3, 100, 1.0))]) == 1
+        with pytest.raises(DeltaError, match="key_columns"):
+            binding.ingest([("upsert", (3, 3, 100, 2.0))])
+        with pytest.raises(DeltaError, match="key_columns"):
+            binding.ingest([("delete", (3, 100))])
+
+    def test_delete_key_arity_checked(self):
+        session = make_session()
+        binding = attach(session)
+        with pytest.raises(DeltaError, match="key_columns is"):
+            binding.ingest([("delete", (3,))])
+
+    def test_unknown_op_kind_rejected(self):
+        session = make_session()
+        binding = attach(session)
+        with pytest.raises(DeltaError, match="unknown delta op kind"):
+            binding.ingest([("replace", (3, 3, 100, 1.0))])
+
+    def test_attach_is_idempotent_and_rebind_raises(self):
+        session = make_session()
+        binding = attach(session)
+        assert attach(session) is binding
+        # Rebinding the table to any other index name is refused up front
+        # (one delta stream per table, like the one-DGFIndex rule).
+        with pytest.raises(DeltaError, match="detach_delta"):
+            session.attach_delta(TABLE, "other")
+
+    def test_detach_keeps_ops_unless_cleared(self):
+        session = make_session()
+        binding = attach(session)
+        binding.ingest([("insert", (3, 3, 100, 1.0))])
+        session.detach_delta(TABLE)
+        assert session.delta_binding(TABLE) is None
+        # re-attach restores the durable state (seq, cells, key config)
+        rebound = attach(session, key_columns=None)
+        assert rebound.resident_ops == 1
+        assert rebound.key_columns == tuple(KEY_COLUMNS)
+        session.detach_delta(TABLE, clear=True)
+        assert attach(session).resident_ops == 0
+
+    def test_state_survives_in_kv_not_memory(self):
+        session = make_session()
+        binding = attach(session)
+        binding.ingest([("insert", (3, 3, 100, 1.0)),
+                        ("delete", (5, 101))])
+        store = DeltaStore(session.kvstore, TABLE, INDEX)
+        state = store.load_state()
+        assert state["seq"] == 2 and state["ops"] == 2
+        assert state["key_columns"] == list(KEY_COLUMNS)
+        assert sorted(state["cells"]) == list(binding.resident_cells)
+
+    def test_drop_table_clears_delta_namespace(self):
+        session = make_session()
+        binding = attach(session)
+        binding.ingest([("insert", (3, 3, 100, 1.0))])
+        session.execute(f"DROP TABLE {TABLE}")
+        assert session.delta_binding(TABLE) is None
+        store = DeltaStore(session.kvstore, TABLE, INDEX)
+        assert store.load_state() is None
+        stop = store.cell_key("\U0010ffff")
+        assert not list(session.kvstore.scan(store.cell_key(""), stop))
+
+
+# -------------------------------------------------------------------- writer
+class TestWriterAdmission:
+    def test_batched_flush_and_counters(self):
+        session = make_session()
+        writer = StreamingWriter(attach(session), batch_size=3)
+        writer.insert([(3, 3, 100, 1.0), (4, 0, 100, 2.0)])
+        assert writer.pending_ops == 2 and writer.flushed_ops == 0
+        writer.insert([(5, 1, 100, 3.0)])  # hits batch_size
+        assert writer.pending_ops == 0 and writer.flushed_ops == 3
+        assert writer.accepted_ops == 3
+        counter = session.metrics.counter("delta_ops_total")
+        assert counter.value(kind="insert") == 3
+        gauge = session.metrics.gauge("delta_resident_ops")
+        assert gauge.value() == 3
+
+    def test_closed_writer_refuses(self):
+        session = make_session()
+        writer = StreamingWriter(attach(session))
+        writer.close()
+        with pytest.raises(ServiceClosedError):
+            writer.insert([(3, 3, 100, 1.0)])
+
+    def test_buffer_overflow_raises(self):
+        session = make_session()
+        writer = StreamingWriter(attach(session), batch_size=4,
+                                 buffer_limit=4)
+        writer.insert([(3, 3, 100, 1.0), (4, 0, 100, 2.0)])
+        with pytest.raises(ServiceOverloadedError):
+            writer.insert([(5, 1, 100, 1.0), (6, 2, 100, 1.0),
+                           (7, 3, 100, 1.0)])
+
+    def test_exception_path_keeps_partial_batch_unflushed(self):
+        session = make_session()
+        binding = attach(session)
+        with pytest.raises(RuntimeError):
+            with StreamingWriter(binding, batch_size=100) as writer:
+                writer.insert([(3, 3, 100, 1.0)])
+                raise RuntimeError("caller unwinding")
+        assert writer.closed
+        assert binding.resident_ops == 0  # the partial batch was dropped
+
+    def test_clean_exit_flushes(self):
+        session = make_session()
+        binding = attach(session)
+        with StreamingWriter(binding, batch_size=100) as writer:
+            writer.insert([(3, 3, 100, 1.0)])
+        assert writer.closed and binding.resident_ops == 1
+
+    def test_service_closed_refuses_writes(self):
+        session = make_session()
+        service = QueryService(session, max_workers=1)
+        writer = service.streaming_writer(TABLE, INDEX,
+                                          key_columns=list(KEY_COLUMNS))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            writer.insert([(3, 3, 100, 1.0)])
+
+    def test_degraded_service_sheds_when_asked(self):
+        from repro.errors import SemanticError
+        session = make_session()
+        service = QueryService(session, max_workers=1,
+                               degraded_error_window=2,
+                               degraded_error_threshold=0.5,
+                               shed_when_degraded=True)
+        try:
+            writer = service.streaming_writer(
+                TABLE, INDEX, key_columns=list(KEY_COLUMNS))
+            assert writer.shed_when_degraded  # inherited from the service
+            with pytest.raises(SemanticError):
+                service.execute(f"SELECT nope FROM {TABLE}")
+            assert service.degraded
+            with pytest.raises(ServiceDegradedError):
+                writer.insert([(3, 3, 100, 1.0)])
+            # an ingest-first writer may opt out of shedding
+            tolerant = service.streaming_writer(
+                TABLE, INDEX, shed_when_degraded=False)
+            assert tolerant.insert([(3, 3, 100, 1.0)]) == 1
+        finally:
+            service.close()
+
+    def test_threshold_triggers_compaction(self):
+        session = make_session()
+        writer = StreamingWriter(attach(session), batch_size=2,
+                                 compact_threshold=2)
+        writer.insert([(3, 3, 100, 1.0), (4, 0, 100, 2.0)])
+        assert len(writer.compactions) == 1
+        assert writer.compactions[0].folded_rows == 2
+        assert writer.binding.resident_ops == 0
+
+
+# ---------------------------------------------------------------- compaction
+class TestCompaction:
+    def test_report_full_cycle(self):
+        session = make_session()
+        binding = attach(session)
+        apply_stream(session)
+        before_gen = binding.dgf_store.get_meta("generation")
+        report = Compactor(binding).run()
+        assert report.watermark == binding.current_seq
+        assert report.generation == before_gen + 1
+        assert report.folded_cells > 0 and report.rewritten_cells > 0
+        assert report.compacted_cells == (report.folded_cells
+                                          + report.rewritten_cells)
+        assert report.pruned_ops == 10
+        assert report.suppressed_rows > 0
+        assert report.dead_bytes > 0
+        assert binding.resident_ops == 0 and binding.resident_cells == ()
+        assert report.run.succeeded
+
+    def test_empty_compaction_is_a_noop(self):
+        session = make_session()
+        binding = attach(session)
+        before_gen = binding.dgf_store.get_meta("generation")
+        report = Compactor(binding).run()
+        assert report.compacted_cells == 0 and report.pruned_ops == 0
+        assert report.generation is None
+        assert binding.dgf_store.get_meta("generation") == before_gen
+
+    def test_partial_compaction_leaves_rest_resident(self):
+        session = make_session()
+        binding = attach(session)
+        apply_stream(session)
+        cells = binding.resident_cells
+        report = Compactor(binding).run(cells[:2])
+        assert report.compacted_cells == 2
+        assert set(binding.resident_cells) == set(cells[2:])
+        assert binding.resident_ops > 0
+
+    def test_compaction_spans_and_metrics(self):
+        session = make_session()
+        binding = attach(session)
+        binding.ingest([("insert", (3, 3, 100, 1.0))])
+        Compactor(binding).run()
+        assert session.metrics.counter(
+            "delta_compactions_total").value() == 1
+        assert session.metrics.counter(
+            "delta_folded_rows_total").value() == 1
+        assert session.metrics.gauge("delta_resident_ops").value() == 0
+
+
+# ------------------------------------------------------------ planner guards
+class TestPlannerIntegration:
+    def test_explain_shows_residency_only_while_resident(self):
+        session = make_session()
+        apply_stream(session)
+        text = "\n".join(r[0] for r in
+                         session.execute("EXPLAIN " + MDRQ).rows)
+        assert "delta: merge-on-read cells=" in text
+        Compactor(session.delta_binding(TABLE)).run()
+        text = "\n".join(r[0] for r in
+                         session.execute("EXPLAIN " + MDRQ).rows)
+        assert "delta" not in text
+
+    def test_plan_fields_track_residency(self):
+        session = make_session()
+        apply_stream(session)
+        plan = session.execute(MDRQ).plan
+        assert plan.delta_cells > 0 and plan.delta_rows > 0
+        assert plan.to_dict()["delta_cells"] == plan.delta_cells
+        Compactor(session.delta_binding(TABLE)).run()
+        plan = session.execute(MDRQ).plan
+        assert plan.delta_cells == 0
+        assert "delta_cells" not in plan.to_dict()
+
+    def test_rebuild_index_guard(self):
+        session = make_session()
+        binding = attach(session)
+        binding.ingest([("insert", (3, 3, 100, 1.0))])
+        with pytest.raises(DeltaError, match="resident streaming ops"):
+            session.rebuild_index(TABLE, INDEX)
+        Compactor(binding).run()
+        session.rebuild_index(TABLE, INDEX)  # clean after compaction
+
+    def test_join_build_side_guard(self):
+        session = make_session()
+        session.execute("CREATE TABLE userinfo (userid bigint, "
+                        "username string)")
+        session.load_rows("userinfo", [(u, f"user{u}") for u in range(50)])
+        session.execute(
+            "CREATE INDEX ui_idx ON TABLE userinfo(userid) AS 'dgf' "
+            "IDXPROPERTIES ('userid'='0_10')")
+        side = session.attach_delta("userinfo", "ui_idx",
+                                    key_columns=["userid"])
+        side.ingest([("insert", (60, "user60"))])
+        join = (f"SELECT t2.username, t1.powerconsumed FROM {TABLE} t1 "
+                "JOIN userinfo t2 ON t1.userid = t2.userid "
+                "WHERE t1.userid >= 3 AND t1.userid < 5")
+        with pytest.raises(ExecutionError, match="join build side"):
+            session.execute(join)
+        Compactor(side).run()
+        result = session.execute(join)
+        assert len(result.rows) == 8

@@ -184,6 +184,75 @@ class TestAppend:
         assert after.rows[0][1] == before[1] + 1
         assert after.rows[0][0] == pytest.approx(before[0] + 5.0)
 
+    def test_empty_append_is_a_noop(self, dgf_session):
+        """Zero rows: no job, no new files, no generation bump."""
+        table = dgf_session.metastore.get_table("meterdata")
+        store = DgfStore(dgf_session.kvstore, "meterdata", "dgf_idx")
+        files = sorted(dgf_session.fs.list_files(table.data_location))
+        generation = store.get_meta("generation")
+        jobs = dgf_session.engine.jobs_run
+        report = append_with_dgf(dgf_session, "meterdata", "dgf_idx", [])
+        assert report.details["appended_rows"] == 0
+        assert sorted(dgf_session.fs.list_files(table.data_location)) \
+            == files
+        assert store.get_meta("generation") == generation
+        assert dgf_session.engine.jobs_run == jobs
+        assert dgf_session.table_row_count("meterdata") == 1200
+
+    def test_append_creates_brand_new_gfu_cell(self, dgf_session):
+        """Rows standardizing to a cell no existing GFU covers create a
+        fresh entry (header, one slice, records) and extend the bounds."""
+        store = DgfStore(dgf_session.kvstore, "meterdata", "dgf_idx")
+        policy = store.load_policy()
+        row = (250, 9, "2012-12-20", 4.5)
+        cell = policy.key_of_row(row[:3])
+        assert store.get_value(cell) is None
+        append_with_dgf(dgf_session, "meterdata", "dgf_idx", [row])
+        value = store.get_value(cell)
+        assert value is not None
+        assert value.records == 1
+        assert value.header["count(*)"] == 1
+        assert value.header["sum(powerconsumed)"] == pytest.approx(4.5)
+        bounds = store.load_bounds()
+        assert bounds["userid"][1] >= policy.dimension("userid").cell_of(250)
+        result = dgf_session.execute(
+            "SELECT sum(powerconsumed) FROM meterdata "
+            "WHERE userid >= 250 AND userid < 251")
+        assert result.scalar() == pytest.approx(4.5)
+
+    def test_two_appends_into_same_boundary_gfu(self, dgf_session):
+        """Two consecutive appends into one cell stack a third and fourth
+        slice location while headers stay additive — and a boundary query
+        (exact predicate over the slices) agrees with a full scan."""
+        store = DgfStore(dgf_session.kvstore, "meterdata", "dgf_idx")
+        policy = store.load_policy()
+        cell = policy.key_of_row((3, 0, "2012-12-03"))
+        before = store.get_value(cell)
+        # snapshot plain values: the store hands back live objects that
+        # merge_value mutates in place
+        locations, records = len(before.locations), before.records
+        count, total = (before.header["count(*)"],
+                        before.header["sum(powerconsumed)"])
+        append_with_dgf(dgf_session, "meterdata", "dgf_idx",
+                        [(3, 0, "2012-12-03", 5.0)])
+        append_with_dgf(dgf_session, "meterdata", "dgf_idx",
+                        [(3, 0, "2012-12-03", 7.0)])
+        value = store.get_value(cell)
+        assert len(value.locations) == locations + 2
+        assert value.records == records + 2
+        assert value.header["count(*)"] == count + 2
+        assert value.header["sum(powerconsumed)"] == pytest.approx(
+            total + 12.0)
+        # generation advanced once per append
+        assert store.get_meta("generation") >= 2
+        sql = ("SELECT sum(powerconsumed), count(*) FROM meterdata "
+               "WHERE userid >= 3 AND userid < 4 AND regionid >= 0 "
+               "AND regionid < 1 AND ts >= '2012-12-03' "
+               "AND ts < '2012-12-04'")
+        indexed = dgf_session.execute(sql)
+        scan = dgf_session.execute(sql, SCAN)
+        assert indexed.rows == scan.rows
+
     def test_append_requires_built_index(self, meter_session):
         meter_session.execute(
             "CREATE INDEX d ON TABLE meterdata(userid) AS 'dgf' "

@@ -66,6 +66,15 @@ def test_api_doctests():
     assert results.failed == 0
 
 
+def test_streaming_doctests():
+    """Every ``>>>`` example in docs/streaming.md must run verbatim."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "streaming.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 25, "doctest examples went missing"
+    assert results.failed == 0
+
+
 def test_vectorized_doctests():
     """Every ``>>>`` example in docs/vectorized.md must run verbatim.
 

@@ -293,3 +293,105 @@ class TestCacheUnit:
                         "AND ts >= '2012-12-01' AND ts < '2012-12-02'")
         assert session.metadata_cache is shared
         assert len(shared) > 0
+
+
+# --------------------------------------------------------- streaming deltas
+STREAM_MDRQ = ("SELECT sum(powerconsumed), count(*) FROM meterstream "
+               "WHERE userid >= 10 AND userid < 30 "
+               "AND ts >= 100 AND ts < 104")
+
+
+class TestStreamingInvalidation:
+    """The over-invalidation regression (ISSUE 7): a high-rate ingest
+    stream writes ``delta:``/``deltameta:`` keys constantly; those writes
+    must evict only their own entries, never the base GFU headers and
+    bounds that keep concurrent query planning warm."""
+
+    def _stream_session(self):
+        from tests.harness.streaming import make_session
+        return make_session(cache=True)
+
+    def test_delta_ingest_keeps_base_entries_warm(self):
+        from tests.harness.streaming import INDEX, KEY_COLUMNS, TABLE
+        session = self._stream_session()
+        cache = session.metadata_cache
+        session.execute(STREAM_MDRQ)  # warm the base GFU namespace
+        base_keys = [key for key in list(cache._entries)
+                     if key.startswith(("dgf:", "dgfmeta:"))]
+        assert base_keys
+        binding = session.attach_delta(TABLE, INDEX,
+                                       key_columns=list(KEY_COLUMNS))
+        binding.ingest([("insert", (12, 0, 102, 1.0)),
+                        ("upsert", (20, 0, 101, 2.0)),
+                        ("delete", (22, 103))])
+        for key in base_keys:
+            assert key in cache, f"ingest over-invalidated base entry {key}"
+        # the next query only re-fetches the delta cells it now overlaps;
+        # once those are cached too, the whole plan is physically free
+        assert _physical_gets(session, STREAM_MDRQ) > 0
+        assert _physical_gets(session, STREAM_MDRQ) == 0
+
+    def test_delta_entries_get_the_delta_metric_label(self):
+        from tests.harness.streaming import INDEX, KEY_COLUMNS, TABLE
+        session = self._stream_session()
+        binding = session.attach_delta(TABLE, INDEX,
+                                       key_columns=list(KEY_COLUMNS))
+        binding.ingest([("insert", (12, 0, 102, 1.0))])
+        session.execute(STREAM_MDRQ)
+        misses = session.metrics.counter("gfu_cache_misses_total")
+        assert misses.value(kind="delta") > 0
+
+    def test_delta_write_evicts_exactly_its_own_key(self):
+        from tests.harness.streaming import INDEX, KEY_COLUMNS, TABLE
+        session = self._stream_session()
+        cache = session.metadata_cache
+        binding = session.attach_delta(TABLE, INDEX,
+                                       key_columns=list(KEY_COLUMNS))
+        binding.ingest([("insert", (12, 0, 102, 1.0))])
+        session.execute(STREAM_MDRQ)  # caches base + the resident cell
+        cached_delta = [key for key in list(cache._entries)
+                        if key.startswith("delta:")]
+        assert cached_delta
+        before = set(cache._entries)
+        binding.ingest([("insert", (12, 0, 103, 2.0))])  # same cell
+        gone = before - set(cache._entries)
+        assert gone == {key for key in before
+                        if key.startswith(("delta:", "deltameta:"))}
+
+    def test_invalidate_cells_is_exact(self):
+        cache = GfuMetadataCache()
+        cache.fill(["dgf:t:i:0_0", "delta:t:i:0_0",
+                    "dgf:t:i:0_1", "delta:t:i:0_1", "dgfmeta:t:i:bounds"],
+                   {"dgf:t:i:0_0": 1, "delta:t:i:0_0": 2,
+                    "dgf:t:i:0_1": 3, "delta:t:i:0_1": 4,
+                    "dgfmeta:t:i:bounds": 5})
+        dropped = cache.invalidate_cells("T", "I", ["0_0"])
+        assert dropped == 2
+        assert "dgf:t:i:0_0" not in cache
+        assert "delta:t:i:0_0" not in cache
+        assert "dgf:t:i:0_1" in cache and "delta:t:i:0_1" in cache
+        assert "dgfmeta:t:i:bounds" in cache
+
+    def test_invalidate_streaming_spares_base_namespace(self):
+        cache = GfuMetadataCache()
+        cache.fill(["delta:t:i:0_0", "deltameta:t:i:state",
+                    "dgf:t:i:0_0", "delta:u:i:0_0"],
+                   {"delta:t:i:0_0": 1, "deltameta:t:i:state": 2,
+                    "dgf:t:i:0_0": 3, "delta:u:i:0_0": 4})
+        dropped = cache.invalidate_streaming("T")
+        assert dropped == 2
+        assert "dgf:t:i:0_0" in cache
+        assert "delta:u:i:0_0" in cache
+
+    def test_invalidate_table_spares_streaming_namespace(self):
+        """The converse guarantee: base-table invalidation (load_rows,
+        new files) must not flush resident delta op lists — they are
+        keyed by stream sequence, not by base layout."""
+        cache = GfuMetadataCache()
+        cache.fill(["dgf:t:i:0_0", "dgfmeta:t:i:bounds", "delta:t:i:0_0"],
+                   {"dgf:t:i:0_0": 1, "dgfmeta:t:i:bounds": 2,
+                    "delta:t:i:0_0": 3})
+        cache.invalidate_table("t")
+        assert "dgf:t:i:0_0" not in cache
+        assert "dgfmeta:t:i:bounds" not in cache
+        assert "delta:t:i:0_0" in cache
