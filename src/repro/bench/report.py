@@ -74,6 +74,8 @@ def run_all(meter_config: Optional[MeterLabConfig] = None,
         ("Ablation: policy advisor", lambda: exps.ablation_advisor(lab)),
         ("Ablation: vectorized engine speedup",
          lambda: exps.vectorized_speedup(lab, tpch)),
+        ("Ablation: replica-fleet layouts",
+         lambda: exps.replica_fleet(lab)),
         ("Ablation: base formats", lambda: exps.ablation_formats(lab)),
         ("Partition explosion", lambda: exps.partition_explosion()),
     ]

@@ -110,15 +110,22 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
                   aggregates: List[CompiledAggregate],
                   input_paths: List[str], output_dir: str,
                   generation: int,
-                  compacted_seq: int = 0) -> Tuple[JobStats, int]:
+                  compacted_seq: int = 0,
+                  write_table: Optional[TableInfo] = None
+                  ) -> Tuple[JobStats, int]:
     """The reorganization MapReduce job.  Returns (job stats, #slices).
 
     ``compacted_seq`` is the streaming compactor's fold watermark: it is
     written on the reducer's GFUValue *in the same put* as the merged
     header and slice locations, so a concurrent reader can never observe
     folded rows without the watermark that suppresses their delta ops.
+
+    ``write_table`` lets the reducers write a different storage format
+    than the input (replica-fleet layouts, :mod:`repro.core.dgf.fleet`);
+    it defaults to ``table`` — read and write the table's own format.
     """
     store = DgfStore(session.kvstore, table.name, index.name)
+    out_table = write_table if write_table is not None else table
     dim_positions = [table.schema.index_of(name) for name in policy.names]
     merge_fns = {agg.key: agg.function for agg in aggregates}
 
@@ -129,7 +136,7 @@ def run_build_job(session, table: TableInfo, index: IndexInfo,
     def reduce_setup(ctx):
         path = f"{output_dir}/g{generation:03d}-{ctx.task_id:05d}_0"
         ctx.state["writer"] = _SliceWriter(
-            formats.open_row_writer(session.fs, path, table,
+            formats.open_row_writer(session.fs, path, out_table,
                                     overwrite=True), path)
 
     def reducer(gfu_key, rows, ctx):
@@ -206,6 +213,11 @@ def _split_key(cell_key: str, policy: SplittingPolicy) -> List[str]:
 def build_dgf_index(session, index: IndexInfo) -> BuildReport:
     """Full build: reorganize the table, populate the store, record meta."""
     table = session.metastore.get_table(index.table)
+    # A rebuild invalidates every replica layout (they were derived from
+    # the previous reorganization); drop the fleet rather than serve
+    # stale copies.  Re-add layouts after the rebuild.
+    from repro.core.dgf import fleet
+    fleet.drop_layouts(session, table, index)
     policy = SplittingPolicy.from_properties(table.schema, index.columns,
                                              index.properties)
     calls = parse_precompute_spec(
@@ -376,6 +388,10 @@ def append_with_dgf(session, table_name: str, index_name: str,
         generation=generation)
     store.put_meta("bounds", compute_bounds(store, policy))
     store.put_meta("generation", generation)
+    # Replica layouts ingest the same staged rows before staging is
+    # deleted — a fleet member is either current or dropped, never stale.
+    from repro.core.dgf import fleet
+    fleet.append_to_layouts(session, table, index, [staging])
     session.fs.delete(staging, recursive=True)
 
     kv_delta = session.kvstore.stats_delta(kv_before)

@@ -1,0 +1,296 @@
+"""The multi-layout replica fleet: HAIL-style aggressive replication.
+
+Classic replication stores R byte-identical copies of the reorganized
+table; R-1 of them only matter when a datanode dies.  Following *Only
+Aggressive Elephants are Fast Elephants* (HAIL), this module lets each
+replica carry a **different physical organization** of the same logical
+data — a different DGF grid granularity, a different slice placement
+(hash vs. z-order), a different storage format (TextFile vs. RCFile) —
+so the replication budget buys raw query speed instead of pure
+insurance.
+
+One fleet member ("layout") is a full reorganized copy of the table:
+
+* its files live under ``{table.location}__dgf@{name}`` and are pinned
+  (via the NameNode's :class:`~repro.hdfs.layout.LayoutDescriptor`
+  registry) to the layout's datanodes, so killing those datanodes kills
+  exactly that layout;
+* its GFU entries and metadata live in the per-layout KV namespace
+  ``dgf:{table}:{index}@{name}:...`` — an ordinary
+  :class:`~repro.core.dgf.store.DgfStore` under the alias index name
+  :func:`layout_index_name`, so the metadata cache and its
+  invalidation prefixes cover layouts for free;
+* a ``stats`` metadata record (GFU count, record count, byte size)
+  feeds the planner's per-layout cost estimates
+  (:meth:`~repro.mapreduce.cost.CostModel.layout_route_seconds`).
+
+The planner (:meth:`DgfIndexHandler.plan_access
+<repro.core.dgf.handler.DgfIndexHandler.plan_access>`) costs every
+surviving layout per query and routes to the cheapest; the descriptor
+registry itself lives in ``index.state["layouts"]`` so it survives in
+the metastore alongside the index.
+
+Consistency rules (what keeps differential runs byte-identical):
+
+* appends (:func:`append_to_layouts`) rebuild every live layout from the
+  same staged rows the primary ingested, in the same session call — a
+  layout is either current or dropped, never stale;
+* a layout whose datanodes are dead at append time is dropped rather
+  than skipped, so a later datanode revival can never resurrect a copy
+  missing rows;
+* while a streaming delta has resident ops the router pins queries to
+  the primary (the delta overlay is built against the primary grid), and
+  compaction (:class:`~repro.delta.compact.Compactor`) drops the fleet
+  before folding — the rewritten primary is the only copy the folded
+  rows exist in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.dgf.builder import (PRECOMPUTE_PROPERTY, compile_precompute,
+                                    compute_bounds, parse_precompute_spec,
+                                    run_build_job)
+from repro.core.dgf.placement import PLACEMENT_PROPERTY, resolve_placement
+from repro.core.dgf.policy import SplittingPolicy
+from repro.core.dgf.store import DgfStore
+from repro.errors import DGFError
+from repro.hdfs.layout import PRIMARY_LAYOUT, LayoutDescriptor
+from repro.hive.indexhandler import BuildReport
+from repro.hive.metastore import IndexInfo, TableInfo
+from repro.mapreduce.cost import JobStats
+
+#: key in ``index.state`` holding the fleet registry
+#: (layout name -> LayoutDescriptor dict form).
+LAYOUTS_STATE_KEY = "layouts"
+
+#: DgfStore metadata record feeding the router's cost estimates.
+STATS_META = "stats"
+
+
+# ------------------------------------------------------------------- naming
+def layout_index_name(index_name: str, layout_name: str) -> str:
+    """KV namespace alias for one layout's DgfStore: ``idx@layout``."""
+    return f"{index_name}@{layout_name}"
+
+
+def layout_root(table: TableInfo, layout_name: str) -> str:
+    """Directory holding one layout's reorganized files."""
+    return f"{table.location}__dgf@{layout_name}"
+
+
+def registered_layouts(index: IndexInfo) -> Dict[str, LayoutDescriptor]:
+    """The index's fleet, by layout name (sorted; empty when no fleet)."""
+    docs = index.state.get(LAYOUTS_STATE_KEY) or {}
+    return {name: LayoutDescriptor.from_dict(docs[name])
+            for name in sorted(docs)}
+
+
+def layout_table_view(table: TableInfo,
+                      descriptor: LayoutDescriptor) -> TableInfo:
+    """A TableInfo whose data location and storage format are the
+    layout's — what split filtering and the record reader see when the
+    router picks a non-primary layout."""
+    properties = dict(table.properties)
+    properties["dgf_data_location"] = descriptor.root
+    return dataclasses.replace(table, stored_as=descriptor.stored_as,
+                               properties=properties)
+
+
+def _layout_index(index: IndexInfo, layout_name: str,
+                  properties: Dict[str, str]) -> IndexInfo:
+    """The IndexInfo alias the build job runs under (controls the KV
+    namespace and the reducer placement strategy)."""
+    return IndexInfo(name=layout_index_name(index.name, layout_name),
+                     table=index.table, columns=index.columns,
+                     handler=index.handler, properties=properties,
+                     built=True)
+
+
+def _layout_properties(index: IndexInfo,
+                       descriptor: LayoutDescriptor) -> Dict[str, str]:
+    properties = dict(index.properties)
+    properties.update(descriptor.grid_properties())
+    properties[PLACEMENT_PROPERTY] = descriptor.placement
+    return properties
+
+
+def refresh_stats(session, table: TableInfo, store: DgfStore,
+                  root: str) -> Dict[str, int]:
+    """(Re)write one store's router statistics from its current entries."""
+    gfus = records = 0
+    for _cell, value in store.iter_entries():
+        gfus += 1
+        records += value.records
+    stats = {"gfus": gfus, "records": records,
+             "bytes": session.fs.total_size(root)
+             if session.fs.exists(root) else 0}
+    store.put_meta(STATS_META, stats)
+    return stats
+
+
+# ------------------------------------------------------------------- build
+def add_replica_layout(session, table_name: str, index_name: str,
+                       layout_name: str, *,
+                       grid: Optional[Dict[str, str]] = None,
+                       stored_as: Optional[str] = None,
+                       placement: Optional[str] = None,
+                       datanodes: Iterable[int] = ()) -> BuildReport:
+    """Build one fleet member: a full reorganized replica of the table
+    under ``grid``/``stored_as``/``placement`` overrides, its files
+    pinned to ``datanodes`` (empty = unpinned, normal placement).
+
+    The replica is built by the same reorganization MapReduce job as the
+    primary (Sec. 4.2), reading the primary's reorganized files and
+    writing the layout's own directory and KV namespace.  Re-adding an
+    existing layout name rebuilds it in place.
+    """
+    table = session.metastore.get_table(table_name)
+    index = session.metastore.get_index(table_name, index_name)
+    if index.handler != "dgf":
+        raise DGFError(f"index {index_name!r} uses handler "
+                       f"{index.handler!r}; replica layouts require 'dgf'")
+    if not index.built:
+        raise DGFError(f"index {index_name!r} must be built before adding "
+                       "replica layouts")
+    if layout_name == PRIMARY_LAYOUT or "@" in layout_name \
+            or not layout_name:
+        raise DGFError(f"invalid layout name {layout_name!r} "
+                       f"(reserved: {PRIMARY_LAYOUT!r}, no '@')")
+    binding = session.delta_binding(table_name)
+    if (binding is not None and binding.serves(index_name)
+            and binding.resident_ops):
+        raise DGFError(
+            f"table {table_name!r} has {binding.resident_ops} resident "
+            "streaming ops; compact the delta before adding layouts")
+
+    properties = dict(index.properties)
+    properties.update(grid or {})
+    if placement is not None:
+        properties[PLACEMENT_PROPERTY] = placement
+    policy = SplittingPolicy.from_properties(table.schema, index.columns,
+                                             properties)
+    aggregates = compile_precompute(table, parse_precompute_spec(
+        properties.get(PRECOMPUTE_PROPERTY, "")))
+
+    root = layout_root(table, layout_name)
+    descriptor = LayoutDescriptor.make(
+        layout_name, root,
+        stored_as=(stored_as or table.stored_as).upper(),
+        datanodes=datanodes, grid=grid,
+        placement=resolve_placement(properties))
+    # Register before building so every file the job creates under the
+    # root inherits the pin set (validates the datanode ids too).
+    session.fs.register_layout(descriptor)
+    if session.fs.exists(root):
+        session.fs.delete(root, recursive=True)
+    session.fs.mkdirs(root)
+
+    alias = _layout_index(index, layout_name, properties)
+    store = DgfStore(session.kvstore, table.name, alias.name)
+    store.clear()
+    session._invalidate_index_cache(table.name, alias.name)
+
+    input_root = table.data_location
+    kv_before = session.kvstore.snapshot_stats()
+    stats = JobStats()
+    num_slices = 0
+    if session.fs.exists(input_root):
+        stats, num_slices = run_build_job(
+            session, table, alias, policy, aggregates, [input_root], root,
+            generation=0, write_table=layout_table_view(table, descriptor))
+
+    store.put_meta("policy", policy.to_dict())
+    store.put_meta("bounds", compute_bounds(store, policy))
+    store.put_meta("precompute", [agg.key for agg in aggregates])
+    store.put_meta("generation", 0)
+    route_stats = refresh_stats(session, table, store, root)
+    # The router also costs the primary; make sure its stats exist/are
+    # current whenever a fleet exists.
+    refresh_stats(session, table,
+                  DgfStore(session.kvstore, table.name, index.name),
+                  table.data_location)
+
+    registry = index.state.setdefault(LAYOUTS_STATE_KEY, {})
+    registry[layout_name] = descriptor.to_dict()
+
+    kv_delta = session.kvstore.stats_delta(kv_before)
+    build_time = (session.cost_model.job_seconds(stats)
+                  + session.cost_model.kv_seconds(kv_delta))
+    return BuildReport(
+        index_name=alias.name, handler="dgf",
+        index_size_bytes=store.size_bytes(),
+        build_time=build_time, job_stats=stats,
+        details={"layout": layout_name, "root": root,
+                 "stored_as": descriptor.stored_as,
+                 "datanodes": list(descriptor.datanodes),
+                 "placement": descriptor.placement,
+                 "gfus": route_stats["gfus"], "slices": num_slices,
+                 "records": route_stats["records"],
+                 "bytes": route_stats["bytes"]})
+
+
+# -------------------------------------------------------------------- drop
+def drop_layout(session, table: TableInfo, index: IndexInfo,
+                layout_name: str) -> None:
+    """Remove one fleet member: KV namespace, cache entries, layout
+    registration, files, and the registry record."""
+    registry = index.state.get(LAYOUTS_STATE_KEY) or {}
+    doc = registry.pop(layout_name, None)
+    if doc is None:
+        return
+    descriptor = LayoutDescriptor.from_dict(doc)
+    alias = layout_index_name(index.name, layout_name)
+    DgfStore(session.kvstore, table.name, alias).clear()
+    session._invalidate_index_cache(table.name, alias)
+    session.fs.unregister_layout(descriptor.root)
+    if session.fs.exists(descriptor.root):
+        session.fs.delete(descriptor.root, recursive=True)
+    if not registry:
+        index.state.pop(LAYOUTS_STATE_KEY, None)
+
+
+def drop_layouts(session, table: TableInfo, index: IndexInfo) -> None:
+    """Remove the whole fleet (rebuilds, compaction, DROP INDEX/TABLE)."""
+    for name in list(registered_layouts(index)):
+        drop_layout(session, table, index, name)
+
+
+# ------------------------------------------------------------------ append
+def append_to_layouts(session, table: TableInfo, index: IndexInfo,
+                      staging_paths: List[str]) -> List[str]:
+    """Fold freshly appended rows into every live layout.
+
+    Called by :func:`~repro.core.dgf.builder.append_with_dgf` after the
+    primary ingested the staged rows and before the staging files are
+    deleted.  Layouts whose pinned datanodes are dead are *dropped*
+    (a revived datanode must never serve a copy missing these rows).
+    Returns the layout names that were updated.
+    """
+    updated: List[str] = []
+    for name, descriptor in registered_layouts(index).items():
+        if not session.fs.layout_alive(name):
+            drop_layout(session, table, index, name)
+            continue
+        properties = _layout_properties(index, descriptor)
+        alias = _layout_index(index, name, properties)
+        store = DgfStore(session.kvstore, table.name, alias.name)
+        policy = store.load_policy()
+        aggregates = compile_precompute(table, parse_precompute_spec(
+            properties.get(PRECOMPUTE_PROPERTY, "")))
+        generation = store.get_meta("generation") + 1
+        run_build_job(session, table, alias, policy, aggregates,
+                      staging_paths, descriptor.root, generation,
+                      write_table=layout_table_view(table, descriptor))
+        store.put_meta("bounds", compute_bounds(store, policy))
+        store.put_meta("generation", generation)
+        refresh_stats(session, table, store, descriptor.root)
+        session._invalidate_index_cache(table.name, alias.name)
+        updated.append(name)
+    if updated:
+        refresh_stats(session, table,
+                      DgfStore(session.kvstore, table.name, index.name),
+                      table.data_location)
+    return updated

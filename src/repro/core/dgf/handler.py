@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.core.dgf import builder
+from repro.core.dgf import builder, fleet
 from repro.core.dgf.gfu import GFUValue, SliceLocation
 from repro.core.dgf.grid import GridSearchResult, search_grid
 from repro.core.dgf.inputformat import DgfSliceInputFormat, slices_to_splits
@@ -68,6 +68,8 @@ class DgfIndexHandler(IndexHandler):
         return builder.build_dgf_index(session, index)
 
     def drop(self, session, index: IndexInfo) -> None:
+        fleet.drop_layouts(session,
+                           session.metastore.get_table(index.table), index)
         DgfStore(session.kvstore, index.table, index.name).clear()
 
     # ------------------------------------------------------------------ query
@@ -91,6 +93,24 @@ class DgfIndexHandler(IndexHandler):
         agg_path = self._aggregation_path_applies(ctx, policy, precomputed)
         tracer = session.tracer
 
+        binding = session.delta_binding(table.name)
+        if binding is not None and not binding.serves(index.name):
+            binding = None
+
+        # Replica-fleet routing: when the index has layout replicas, cost
+        # every surviving layout for this query's region and read from the
+        # cheapest (HAIL).  The ``dgf.route`` span, the plan's ``layout``
+        # field and the description suffix only exist when a fleet does,
+        # so fleetless plans stay byte-identical to the pre-fleet engine.
+        layout_name: Optional[str] = None
+        read_table = table
+        layouts = fleet.registered_layouts(index)
+        if layouts:
+            layout_name, store, policy, bounds, read_table = \
+                self._route_layout(session, table, index, ctx, layouts,
+                                   intervals, agg_path, binding,
+                                   (store, policy, bounds))
+
         with tracer.span("dgf.search_grid") as search_span:
             search = search_grid(policy, intervals, bounds,
                                  force_all_boundary=not agg_path)
@@ -102,9 +122,6 @@ class DgfIndexHandler(IndexHandler):
         # span (and the plan's delta fields) only appears when a candidate
         # cell is resident, so delta-free queries trace byte-identically
         # to the pre-streaming engine.
-        binding = session.delta_binding(table.name)
-        if binding is not None and not binding.serves(index.name):
-            binding = None
         overlay = None
         if binding is not None and binding.overlapping_cells(intervals):
             with tracer.span("delta:merge") as merge_span:
@@ -155,7 +172,7 @@ class DgfIndexHandler(IndexHandler):
                 boundary_span.add("slices", len(slices))
 
         with tracer.span("dgf.filter_splits") as split_span:
-            splits, total_splits = slices_to_splits(session.fs, table,
+            splits, total_splits = slices_to_splits(session.fs, read_table,
                                                     slices)
             split_span.add("splits_kept", len(splits))
             split_span.add("splits_total", total_splits)
@@ -167,11 +184,13 @@ class DgfIndexHandler(IndexHandler):
         # The overlay adds its own deterministic probe count (delta cell +
         # base watermark per candidate cell).
         probes = len(inner_keys) + len(boundary_keys)
-        input_format = DgfSliceInputFormat(table)
+        input_format = DgfSliceInputFormat(read_table)
         description = (f"dgf({index.name}) "
                        f"mode={'agg-headers' if agg_path else 'slices'} "
                        f"inner={inner_hits} boundary={boundary_hits} "
                        f"splits={len(splits)}/{total_splits}")
+        if layout_name is not None:
+            description += f" layout={layout_name}"
         delta_cells = delta_rows = 0
         if overlay is not None:
             from repro.delta.overlay import DeltaOverlayInputFormat
@@ -198,7 +217,85 @@ class DgfIndexHandler(IndexHandler):
             total_splits=total_splits,
             index_kv_gets=probes,
             delta_cells=delta_cells,
-            delta_rows=delta_rows)
+            delta_rows=delta_rows,
+            layout=layout_name)
+
+    # ---------------------------------------------------------------- routing
+    def _route_layout(self, session, table: TableInfo, index: IndexInfo,
+                      ctx: QueryIndexContext, layouts, intervals,
+                      agg_path: bool, binding, primary):
+        """Pick the layout this query reads: the cheapest surviving
+        member of the replica fleet (HAIL routing).
+
+        Each candidate is costed by running the grid search against its
+        own policy/bounds (pure CPU) and feeding the resulting probe and
+        boundary-cell counts, scaled by the layout's stored per-GFU
+        record/byte statistics, to
+        :meth:`~repro.mapreduce.cost.CostModel.layout_route_seconds`.
+        Ties break primary-first, then by name — fully deterministic.
+        Queries with resident streaming deltas pin to the primary (the
+        overlay is built against the primary grid); ``ctx.force_layout``
+        overrides the choice for differential harnesses.
+
+        Returns ``(name, store, policy, bounds, read_table)``.
+        """
+        from repro.hdfs.layout import PRIMARY_LAYOUT
+        store, policy, bounds = primary
+        with session.tracer.span("dgf.route") as span:
+            candidates = {PRIMARY_LAYOUT: (store, policy, bounds, table)}
+            dead = []
+            for name, descriptor in layouts.items():
+                if not session.fs.layout_alive(name):
+                    dead.append(name)
+                    continue
+                lstore = session.dgf_store(
+                    table.name, fleet.layout_index_name(index.name, name))
+                candidates[name] = (
+                    lstore, lstore.load_policy(), lstore.load_bounds(),
+                    fleet.layout_table_view(table, descriptor))
+            span.set("candidates", ",".join(sorted(candidates)))
+            if dead:
+                span.set("dead", ",".join(sorted(dead)))
+
+            resident = binding is not None and binding.resident_cells
+            forced = ctx.force_layout
+            if forced is not None:
+                if forced not in candidates:
+                    raise DGFError(
+                        f"cannot force layout {forced!r}: not a live "
+                        f"layout of {index.name!r} "
+                        f"(live: {sorted(candidates)}, dead: {sorted(dead)})")
+                if resident and forced != PRIMARY_LAYOUT:
+                    raise DGFError(
+                        f"cannot force layout {forced!r}: resident "
+                        "streaming deltas pin queries to the primary")
+                span.set("forced", forced)
+                chosen = forced
+            elif resident:
+                # The delta overlay merges against the primary grid only.
+                span.set("pinned", "delta")
+                chosen = PRIMARY_LAYOUT
+            else:
+                scores = {}
+                for name in sorted(candidates):
+                    cstore, cpolicy, cbounds, _view = candidates[name]
+                    search = search_grid(cpolicy, intervals, cbounds,
+                                         force_all_boundary=not agg_path)
+                    probes = (len(search.inner_keys)
+                              + len(search.boundary_keys))
+                    stats = cstore.get_meta(fleet.STATS_META)
+                    per_gfu = max(1, stats["gfus"])
+                    scan_cells = len(search.boundary_keys)
+                    scores[name] = session.cost_model.layout_route_seconds(
+                        probes,
+                        scan_cells * stats["records"] / per_gfu,
+                        scan_cells * stats["bytes"] / per_gfu)
+                    span.set(f"score.{name}", round(scores[name], 6))
+                chosen = min(scores, key=lambda n: (scores[n],
+                                                    n != PRIMARY_LAYOUT, n))
+            span.set("chosen", chosen)
+        cstore, cpolicy, cbounds, view = candidates[chosen]
+        return chosen, cstore, cpolicy, cbounds, view
 
     # ----------------------------------------------------------------- pieces
     def _aggregation_path_applies(self, ctx: QueryIndexContext, policy,

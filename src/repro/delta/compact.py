@@ -141,6 +141,12 @@ class Compactor:
         differential suite queries between two such partial runs."""
         binding = self.binding
         session = binding.session
+        # Compaction folds delta ops into the *primary* copy only; any
+        # replica-fleet layouts would be missing the folded rows once the
+        # ops are pruned.  Drop the fleet up front (re-add layouts after
+        # compacting) rather than ever serving a stale copy.
+        from repro.core.dgf import fleet
+        fleet.drop_layouts(session, binding.table, binding.index)
         report = CompactionReport(table=binding.table.name,
                                   index=binding.index.name)
         with session.tracer.span("delta:compact") as span:

@@ -10,12 +10,13 @@ behaviour regardless of which layer asked.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import KVStoreTimeout
-from repro.faults.plan import (DATANODE_DEAD, KV_TIMEOUT, SPECULATIVE_WIN,
-                               TASK_CRASH, TASK_RETRY, TASK_STRAGGLER,
-                               FaultPlan, KV_RETRY, REPLICA_FAILOVER)
+from repro.faults.plan import (DATANODE_DEAD, KV_TIMEOUT, LAYOUT_DOWNGRADE,
+                               SPECULATIVE_WIN, TASK_CRASH, TASK_RETRY,
+                               TASK_STRAGGLER, FaultPlan, KV_RETRY,
+                               REPLICA_FAILOVER)
 from repro.faults.registry import FaultRegistry
 
 
@@ -96,6 +97,24 @@ class FaultInjector:
         return attempt
 
     # ----------------------------------------------------------------- HDFS
+    def scheduled_datanode_kills(self, job_name: str):
+        """Datanodes the plan kills when this job starts (mid-query
+        layout-failover chaos; the engine fires these at job start)."""
+        return self.plan.scheduled_datanode_kills(job_name)
+
+    def layout_downgrade(self, dead_layouts: Sequence[str],
+                         aborted_seconds: float) -> None:
+        """One aborted query attempt survived by replanning onto the
+        surviving layouts.  The aborted attempt's accrued simulated time
+        is charged as recovery backoff — never to the retried query's own
+        time, which stays byte-identical to a fault-free run against the
+        surviving fleet."""
+        self.registry.record_fault(
+            "layout_outage", ",".join(sorted(dead_layouts)))
+        self.registry.record_recovery(
+            LAYOUT_DOWNGRADE, ",".join(sorted(dead_layouts)))
+        self.registry.add_backoff(aborted_seconds)
+
     def activate_datanode_faults(self, fs) -> None:
         """Kill the plan's ``dead_datanodes`` (the chaos runner calls this
         after data placement so reads must actually fail over)."""

@@ -39,6 +39,10 @@ TASK_RETRY = "task_retry"
 SPECULATIVE_WIN = "speculative_win"
 REPLICA_FAILOVER = "replica_failover"
 KV_RETRY = "kv_retry"
+#: replan onto surviving replica layouts after a pinned datanode died;
+#: not in RECOVERY_KINDS — only tables with a replica fleet can produce
+#: it, so rate-driven chaos plans never do.
+LAYOUT_DOWNGRADE = "layout_downgrade"
 
 RECOVERY_KINDS = (TASK_RETRY, SPECULATIVE_WIN, REPLICA_FAILOVER, KV_RETRY)
 
@@ -104,6 +108,10 @@ class FaultSpec:
     op: Optional[str] = None
     key: Optional[str] = None
     crash_after_records: Optional[int] = None
+    #: for :data:`DATANODE_DEAD`: kill this datanode when a job whose name
+    #: contains ``job`` starts (mid-query layout failover; see
+    #: :meth:`FaultPlan.scheduled_datanode_kills`).
+    datanode: Optional[int] = None
 
     def __post_init__(self):
         if self.kind not in FAULT_KINDS:
@@ -205,6 +213,21 @@ class FaultPlan:
             return False
         rng = _derive(self.seed, "straggler", job, task_kind, task_id)
         return rng.random() < self.task_straggler_rate
+
+    def scheduled_datanode_kills(self, job_name: str) -> Tuple[int, ...]:
+        """Datanodes a :data:`DATANODE_DEAD` spec kills when a job whose
+        name contains the spec's ``job`` starts running.
+
+        Job start is the one deterministic point shared by every worker
+        count — the engine is single-threaded there — so a mid-query kill
+        hits the identical moment whether tasks run on 1 or 8 workers.
+        Specs without a ``job`` or ``datanode`` are handled by
+        :meth:`FaultInjector.activate_datanode_faults` instead.
+        """
+        return tuple(spec.datanode for spec in self.scheduled
+                     if spec.kind == DATANODE_DEAD
+                     and spec.datanode is not None
+                     and spec.job is not None and spec.job in job_name)
 
     def kv_times_out(self, op: str, key: str, attempt: int) -> bool:
         for spec in self.scheduled:

@@ -16,6 +16,7 @@ from repro.hdfs.metrics import IOStats
 from repro.hdfs.namenode import NameNode, INode
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.filesystem import HDFS, FileStatus, HDFSWriter, HDFSReader
+from repro.hdfs.layout import LayoutDescriptor, PRIMARY_LAYOUT
 
 __all__ = [
     "IOStats",
@@ -26,4 +27,6 @@ __all__ = [
     "FileStatus",
     "HDFSWriter",
     "HDFSReader",
+    "LayoutDescriptor",
+    "PRIMARY_LAYOUT",
 ]

@@ -234,6 +234,9 @@ class HDFS:
     def create(self, path: str, overwrite: bool = False) -> HDFSWriter:
         with self._mutate_lock:
             node = self.namenode.create_file(path, overwrite=overwrite)
+            layout = self.namenode.layout_of(path)
+            if layout is not None and layout.pinned:
+                node.pinned = tuple(layout.datanodes)
         return HDFSWriter(self, node, path)
 
     def open(self, path: str) -> HDFSReader:
@@ -287,8 +290,62 @@ class HDFS:
                 "under_replicated": under,
                 "unavailable": unavailable}
 
+    # --------------------------------------------------------------- layouts
+    def register_layout(self, descriptor) -> None:
+        """Register a :class:`~repro.hdfs.layout.LayoutDescriptor`.  Files
+        created under its root are pinned to its datanodes; effective
+        replication there is the pin-set size (never warned about — the
+        clamp is the point of pinning, not an accident)."""
+        for node_id in descriptor.datanodes:
+            if not 0 <= node_id < len(self.datanodes):
+                raise HDFSError(
+                    f"layout {descriptor.name!r} pins unknown datanode "
+                    f"{node_id} (cluster has {len(self.datanodes)})")
+        with self._mutate_lock:
+            self.namenode.register_layout(descriptor)
+
+    def unregister_layout(self, root: str) -> None:
+        with self._mutate_lock:
+            self.namenode.unregister_layout(root)
+
+    def layout_of(self, path: str):
+        return self.namenode.layout_of(path)
+
+    def layouts(self) -> List:
+        return self.namenode.layouts()
+
+    def layout_alive(self, name: str) -> bool:
+        """Whether every datanode a layout is pinned to is alive (an
+        unpinned or unknown layout is trivially alive — its blocks are
+        replicated normally and fail over replica-by-replica)."""
+        for descriptor in self.namenode.layouts():
+            if descriptor.name == name:
+                return all(self.datanodes[i].alive
+                           for i in descriptor.datanodes)
+        return True
+
+    def layout_report(self) -> List[Dict[str, object]]:
+        """One row per registered layout: root, format, pins, liveness."""
+        return [{"name": d.name, "root": d.root, "stored_as": d.stored_as,
+                 "datanodes": list(d.datanodes),
+                 "alive": self.layout_alive(d.name)}
+                for d in self.namenode.layouts()]
+
     # ---------------------------------------------------------------- blocks
     def _pick_datanodes(self, node: INode) -> List[int]:
+        # A pinned file (a layout replica) places blocks only on its pin
+        # set: the layout's bytes deliberately have no copies elsewhere,
+        # so a dead pinned node means the layout is down, not degraded.
+        if node.pinned:
+            live = [i for i in node.pinned if self.datanodes[i].alive]
+            if not live:
+                raise DataNodeUnavailable(
+                    f"layout datanodes {list(node.pinned)} for "
+                    f"{node.name!r} are all dead")
+            start = (zlib.crc32(node.name.encode())
+                     + len(node.blocks)) % len(live)
+            rotated = live[start:] + live[:start]
+            return rotated[:min(self.replication, len(rotated))]
         n = len(self.datanodes)
         # Placement is a pure function of (file name, block ordinal), not a
         # shared round-robin cursor: concurrent writers (parallel reduce

@@ -1,0 +1,85 @@
+"""Per-replica physical layouts (HAIL-style aggressive replication).
+
+Classic HDFS spends its replication factor on R byte-identical copies of
+every block: R-1 of them only ever matter for failover.  *Only Aggressive
+Elephants are Fast Elephants* (HAIL) observed that each replica may just
+as well hold a **different physical organization** of the same logical
+data — a different sort order, a different record format — turning
+replication into a raw-speed multiplier instead of pure insurance.
+
+Here a :class:`LayoutDescriptor` names one such organization: the
+directory that holds its files (``root``), the storage format its files
+are written in (``stored_as``), the datanodes its blocks are pinned to
+(``datanodes`` — empty means unpinned, i.e. normal replicated
+placement), and the DGF grid overrides that distinguish it from the
+primary index (``grid`` granularity specs and the reducer ``placement``
+strategy).  The NameNode keeps a registry of descriptors keyed by root
+directory; at file-create time the filesystem stamps the matching pin
+set onto the INode so every block of a layout's files lands only on the
+layout's datanodes.  Killing a pinned datanode therefore makes the whole
+layout unreadable — exactly the failure the planner's layout-aware
+routing (:mod:`repro.core.dgf.fleet`) must survive by re-costing the
+query against the surviving layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: descriptor name reserved for the table's primary (unpinned) organization.
+PRIMARY_LAYOUT = "primary"
+
+
+@dataclass(frozen=True)
+class LayoutDescriptor:
+    """One replica's physical organization.
+
+    ``grid`` holds the per-dimension granularity overrides as sorted
+    ``(column, spec)`` pairs (``spec`` is the usual DGF
+    ``'<origin>_<interval>'`` string); hashable so descriptors can live
+    in frozen fault plans and be compared structurally.
+    """
+
+    name: str
+    root: str
+    stored_as: str = "TEXTFILE"
+    datanodes: Tuple[int, ...] = ()
+    grid: Tuple[Tuple[str, str], ...] = ()
+    placement: str = "hash"
+
+    @property
+    def pinned(self) -> bool:
+        """Whether this layout's blocks live only on specific datanodes."""
+        return bool(self.datanodes)
+
+    def grid_properties(self) -> Dict[str, str]:
+        """The granularity overrides as a plain dict."""
+        return dict(self.grid)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for the metastore's ``index.state`` registry."""
+        return {"name": self.name, "root": self.root,
+                "stored_as": self.stored_as,
+                "datanodes": list(self.datanodes),
+                "grid": [list(pair) for pair in self.grid],
+                "placement": self.placement}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "LayoutDescriptor":
+        return cls(name=doc["name"], root=doc["root"],
+                   stored_as=doc.get("stored_as", "TEXTFILE"),
+                   datanodes=tuple(doc.get("datanodes", ())),
+                   grid=tuple(tuple(pair) for pair in doc.get("grid", ())),
+                   placement=doc.get("placement", "hash"))
+
+    @classmethod
+    def make(cls, name: str, root: str, *, stored_as: str = "TEXTFILE",
+             datanodes=(), grid=None, placement: str = "hash"
+             ) -> "LayoutDescriptor":
+        """Build a descriptor from friendly types (dict grid, any
+        iterable of datanode ids)."""
+        pairs = tuple(sorted((grid or {}).items()))
+        return cls(name=name, root=root, stored_as=stored_as,
+                   datanodes=tuple(datanodes), grid=pairs,
+                   placement=placement)

@@ -35,12 +35,18 @@ class BlockInfo:
 
 @dataclass
 class INode:
-    """A namespace entry: directory or file."""
+    """A namespace entry: directory or file.
+
+    ``pinned`` restricts every block of a file to a fixed datanode set
+    (HAIL-style layout replicas — see :mod:`repro.hdfs.layout`); ``None``
+    means normal replicated placement across all live nodes.
+    """
 
     name: str
     is_dir: bool
     children: Dict[str, "INode"] = field(default_factory=dict)
     blocks: List[BlockInfo] = field(default_factory=list)
+    pinned: Optional[tuple] = None
 
     @property
     def length(self) -> int:
@@ -63,6 +69,10 @@ class NameNode:
         self._num_dirs = 1
         self._num_files = 0
         self._num_blocks = 0
+        #: layout registry: normalized root directory -> LayoutDescriptor.
+        #: Namespace metadata like everything else the NameNode holds —
+        #: one descriptor per physical organization of a table's replicas.
+        self._layouts: Dict[str, "object"] = {}
 
     # ------------------------------------------------------------------ paths
     def _lookup(self, path: str) -> Optional[INode]:
@@ -167,6 +177,32 @@ class NameNode:
                 yield from self.walk_files(child_path)
             else:
                 yield child_path
+
+    # ---------------------------------------------------------------- layouts
+    def register_layout(self, descriptor) -> None:
+        """Register a :class:`~repro.hdfs.layout.LayoutDescriptor` under
+        its root directory; files created below that root inherit the
+        descriptor's datanode pin set."""
+        root = "/" + "/".join(_normalize(descriptor.root))
+        self._layouts[root] = descriptor
+
+    def unregister_layout(self, root: str) -> None:
+        self._layouts.pop("/" + "/".join(_normalize(root)), None)
+
+    def layout_of(self, path: str) -> Optional[object]:
+        """The layout governing ``path`` (longest registered root that is
+        a prefix of it), or ``None`` for normally-placed files."""
+        normalized = "/" + "/".join(_normalize(path))
+        best = None
+        for root, descriptor in self._layouts.items():
+            if normalized == root or normalized.startswith(root + "/"):
+                if best is None or len(root) > len(best[0]):
+                    best = (root, descriptor)
+        return best[1] if best else None
+
+    def layouts(self) -> List[object]:
+        """Every registered descriptor, sorted by layout name."""
+        return sorted(self._layouts.values(), key=lambda d: d.name)
 
     # ----------------------------------------------------------------- blocks
     def allocate_block(self, file_node: INode, length: int,

@@ -57,6 +57,10 @@ class QueryIndexContext:
     #: expression is a plain column reference; None otherwise.  The
     #: Aggregate Index needs this for its GROUP BY rewrite.
     group_columns: Optional[List[str]] = None
+    #: pin the replica-fleet router to one layout by name ("primary" or a
+    #: registered layout); None = cost-based choice.  Differential
+    #: harnesses use this to compare layouts against each other.
+    force_layout: Optional[str] = None
 
 
 @dataclass
@@ -97,6 +101,10 @@ class IndexAccessPlan:
     #: byte-identical.
     delta_cells: int = 0
     delta_rows: int = 0
+    #: replica layout the router chose ("primary" or a fleet layout
+    #: name); None whenever the index has no replica fleet, keeping
+    #: pre-fleet plans (and their fingerprints) byte-identical.
+    layout: Optional[str] = None
 
 
 @dataclass

@@ -102,6 +102,8 @@ class Plan:
             lines.append(f"index: {access.description}")
             lines.append(f"  handler: {access.handler}"
                          + (f" mode={access.mode}" if access.mode else ""))
+            if access.layout is not None:
+                lines.append(f"  layout: {access.layout}")
             if access.inner_gfus or access.boundary_gfus:
                 lines.append(f"  gfus: inner={access.inner_gfus} "
                              f"boundary={access.boundary_gfus}")
@@ -156,6 +158,10 @@ class Plan:
                 "index_kv_gets": access.index_kv_gets,
                 "index_records_scanned": access.index_records_scanned,
             }
+            if access.layout is not None:
+                # Only present with a replica fleet, so fleetless plan
+                # dicts (and their fingerprints) are unchanged.
+                index["layout"] = access.layout
         summary = {
             "table": self.table,
             "stored_as": self.stored_as,

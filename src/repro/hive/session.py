@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ExecutionError, MetastoreError, SemanticError
+from repro.errors import (DataNodeUnavailable, ExecutionError,
+                          MetastoreError, SemanticError)
 from repro.hdfs.filesystem import HDFS
 from repro.hdfs.metrics import task_io_scope
 from repro.hive import exec as hexec
@@ -59,6 +60,10 @@ class QueryOptions:
     index_name: Optional[str] = None
     #: Figure 17 ablation: keep DGFIndex but disable its header path
     dgf_use_precompute: bool = True
+    #: pin the replica-fleet router to one layout ("primary" or a
+    #: registered layout name); None = cost-based routing.  Only
+    #: meaningful for tables whose DGF index carries a replica fleet.
+    dgf_layout: Optional[str] = None
     #: reducers used for GROUP BY jobs
     group_reducers: int = 8
 
@@ -376,6 +381,31 @@ class HiveSession:
             raise MetastoreError(f"index {name!r} has not been built")
         return report
 
+    # ---------------------------------------------------------- replica fleet
+    def add_layout(self, table: str, index: str, layout: str, *,
+                   grid: Optional[Dict[str, str]] = None,
+                   stored_as: Optional[str] = None,
+                   placement: Optional[str] = None,
+                   datanodes: Iterable[int] = ()) -> BuildReport:
+        """Build one replica-fleet layout of a DGF index (HAIL-style):
+        a full reorganized copy under its own grid granularity, storage
+        format and reducer placement, pinned to ``datanodes``.  See
+        :mod:`repro.core.dgf.fleet` and docs/replicas.md."""
+        from repro.core.dgf import fleet
+        return fleet.add_replica_layout(
+            self, table, index, layout, grid=grid, stored_as=stored_as,
+            placement=placement, datanodes=datanodes)
+
+    def drop_layout(self, table: str, index: str, layout: str) -> None:
+        """Remove one replica-fleet layout (files, KV namespace, pin)."""
+        from repro.core.dgf import fleet
+        fleet.drop_layout(self, self.metastore.get_table(table),
+                          self.metastore.get_index(table, index), layout)
+
+    def layout_report(self) -> List[Dict[str, Any]]:
+        """Registered layouts and their liveness (delegates to HDFS)."""
+        return self.fs.layout_report()
+
     # ----------------------------------------------------------- data loading
     def load_rows(self, table_name: str, rows: Iterable[Sequence[Any]],
                   file_label: Optional[str] = None) -> int:
@@ -423,12 +453,49 @@ class HiveSession:
     def _run_select(self, stmt: ast.SelectStmt,
                     options: QueryOptions) -> QueryResult:
         with self.tracer.span("query") as root:
-            result = self._execute_select(stmt, options, root)
+            attempt = 0
+            while True:
+                try:
+                    result = self._execute_select(stmt, options, root)
+                    break
+                except DataNodeUnavailable:
+                    # Layout failover: a replica layout's pinned datanode
+                    # died under this query.  If any registered layout is
+                    # now dead, replan — the router skips dead layouts and
+                    # re-costs the survivors.  Anything else (a genuinely
+                    # unreadable block) propagates as before.
+                    dead = [d.name for d in self.fs.layouts()
+                            if not self.fs.layout_alive(d.name)]
+                    attempt += 1
+                    if not dead or attempt > len(self.fs.layouts()):
+                        raise
+                    self._note_layout_downgrade(root, dead, attempt)
         if self.tracer.enabled:
             result.trace = Trace(root)
             if result.plan is not None:
                 result.plan.trace = result.trace
         return result
+
+    def _note_layout_downgrade(self, root: Span, dead: List[str],
+                               attempt: int) -> None:
+        """Record one aborted query attempt before the layout-failover
+        replan.  The attempt's spans are folded under a single
+        ``fault:layout_downgrade`` child (carrying no simulated time, like
+        every ``fault:*`` span), so the retried attempt's children still
+        reconcile exactly with the root's totals and the chaos view's
+        fault-stripping removes the abort wholesale."""
+        if self.fault_injector is not None:
+            self.fault_injector.layout_downgrade(
+                dead, root.children_sim_sum().total)
+        if self.tracer.enabled and root.children:
+            wrapper = Span(name="fault:layout_downgrade",
+                           attrs={"dead_layouts": ",".join(sorted(dead)),
+                                  "attempt": attempt})
+            wrapper.children = root.children
+            for child in wrapper.children:
+                child.sim = None
+            root.children = [wrapper]
+            root.add("fault.layout_downgrades")
 
     def _execute_select(self, stmt: ast.SelectStmt, options: QueryOptions,
                         root: Span) -> QueryResult:
@@ -687,7 +754,8 @@ class HiveSession:
             is_plain_aggregation=analysis.stmt.is_plain_aggregation,
             use_precompute=options.dgf_use_precompute,
             referenced_columns=analysis.referenced_columns,
-            group_columns=group_columns)
+            group_columns=group_columns,
+            force_layout=options.dgf_layout)
         priority = {"dgf": 0, "aggregate": 1, "bitmap": 2, "compact": 3}
         for index in sorted(indexes,
                             key=lambda i: priority.get(i.handler, 9)):

@@ -257,6 +257,28 @@ class CostModel:
                    + scaled_records * c.cpu_seconds_per_record / slots)
         return TimeBreakdown(read_index_and_other=seconds)
 
+    # -------------------------------------------------------- layout routing
+    def layout_route_seconds(self, kv_gets: int, est_records: float,
+                             est_bytes: float) -> float:
+        """Estimated query cost of scanning one replica layout: the GFU
+        probes the grid search would issue, plus a map phase over the
+        estimated paper-scale bytes/records the layout's slices hold.
+        Used by the replica-fleet router (:mod:`repro.core.dgf.fleet`) to
+        pick the cheapest surviving layout; the estimate only ranks
+        layouts — the chosen plan's reported time is still measured.
+        """
+        c = self.cluster
+        seconds = kv_gets * c.kv_get_seconds
+        scaled_bytes = est_bytes * self.data_scale
+        scaled_records = est_records * self.data_scale
+        tasks = max(1, math.ceil(scaled_bytes / c.paper_block_size))
+        slots = max(1, min(tasks, c.total_map_slots))
+        seconds += (math.ceil(tasks / c.total_map_slots)
+                    * c.task_startup_seconds
+                    + scaled_bytes / (slots * c.per_slot_disk_bandwidth)
+                    + scaled_records * c.cpu_seconds_per_record / slots)
+        return seconds
+
     # ------------------------------------------------------------ raw writes
     def sequential_write_seconds(self, nbytes: int,
                                  parallel_streams: int = 1) -> float:

@@ -123,6 +123,15 @@ class MapReduceEngine:
 
     def run(self, job: Job) -> JobResult:
         job.validate()
+        if self.faults is not None:
+            # Scheduled mid-query datanode kills fire at job start: the
+            # engine is still single-threaded here, so the kill lands at
+            # the identical point for every worker count.  The alive guard
+            # keeps the registry from double-recording when a layout
+            # failover replans and re-runs a job with a matching name.
+            for node_id in self.faults.scheduled_datanode_kills(job.name):
+                if self.fs.datanodes[node_id].alive:
+                    self.fs.kill_datanode(node_id)
         execution = job.execution if job.execution is not None \
             else self.execution
         workers = execution.worker_count()

@@ -135,6 +135,19 @@ def assert_job_equivalent(
 
 # --------------------------------------------------------------- session level
 @dataclass(frozen=True)
+class LayoutSpec:
+    """One replica-fleet layout a workload builds after its index
+    (ISSUE 8; see :mod:`repro.core.dgf.fleet`).  ``grid`` holds the
+    granularity overrides as hashable ``(column, spec)`` pairs."""
+
+    name: str
+    grid: Tuple[Tuple[str, str], ...] = ()
+    stored_as: Optional[str] = None
+    placement: Optional[str] = None
+    datanodes: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
 class Workload:
     """A replayable (table, index, queries) scenario.
 
@@ -153,6 +166,8 @@ class Workload:
     load_files: int = 2
     #: extra (name, ddl, rows) tables, e.g. the dimension side of a join
     extra_tables: Tuple[Tuple[str, str, Tuple[Tuple, ...]], ...] = ()
+    #: replica-fleet layouts built after the index (needs ``index_name``)
+    layouts: Tuple[LayoutSpec, ...] = ()
 
 
 def run_workload(workload: Workload,
@@ -197,6 +212,18 @@ def run_workload(workload: Workload,
                             report.build_time.read_data_and_process),
                 "details": dict(report.details),
             }
+    # Fleet layouts build before appends so appends exercise the
+    # every-layout ingest path (repro.core.dgf.fleet.append_to_layouts).
+    for spec in workload.layouts:
+        report = session.add_layout(
+            workload.table, workload.index_name, spec.name,
+            grid=dict(spec.grid), stored_as=spec.stored_as,
+            placement=spec.placement, datanodes=spec.datanodes)
+        fingerprint[f"layout:{spec.name}"] = {
+            "stats": asdict(report.job_stats),
+            "index_size_bytes": report.index_size_bytes,
+            "details": dict(report.details),
+        }
     if workload.append_rows:
         from repro.core.dgf.builder import append_with_dgf
         report = append_with_dgf(session, workload.table,
@@ -258,6 +285,11 @@ def run_service_workload(workload: Workload, concurrency: int,
     fingerprint: Dict[str, Any] = {}
     if workload.index_sql:
         session.execute(workload.index_sql)
+    for spec in workload.layouts:
+        session.add_layout(
+            workload.table, workload.index_name, spec.name,
+            grid=dict(spec.grid), stored_as=spec.stored_as,
+            placement=spec.placement, datanodes=spec.datanodes)
     if workload.append_rows:
         from repro.core.dgf.builder import append_with_dgf
         append_with_dgf(session, workload.table, workload.index_name,

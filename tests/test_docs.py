@@ -32,6 +32,18 @@ def _iter_links(path: pathlib.Path):
             yield number, match.group(1)
 
 
+def test_docs_index_lists_every_docs_page():
+    """docs/index.md is the TOC: every docs/*.md page (except itself)
+    must be linked from it, so a new page cannot ship unindexed."""
+    index = REPO_ROOT / "docs" / "index.md"
+    linked = {target.split("#", 1)[0]
+              for _num, target in _iter_links(index)}
+    missing = [path.name
+               for path in sorted((REPO_ROOT / "docs").glob("*.md"))
+               if path.name != "index.md" and path.name not in linked]
+    assert not missing, f"docs/index.md does not link: {missing}"
+
+
 @pytest.mark.parametrize("path", markdown_files(),
                          ids=lambda p: str(p.relative_to(REPO_ROOT)))
 def test_intra_repo_markdown_links_resolve(path):
@@ -72,6 +84,15 @@ def test_streaming_doctests():
         str(REPO_ROOT / "docs" / "streaming.md"),
         module_relative=False, verbose=False)
     assert results.attempted > 25, "doctest examples went missing"
+    assert results.failed == 0
+
+
+def test_replicas_doctests():
+    """Every ``>>>`` example in docs/replicas.md must run verbatim."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "replicas.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 40, "doctest examples went missing"
     assert results.failed == 0
 
 
