@@ -1,0 +1,118 @@
+"""Benchmark: the divergent advisor's win over every uniform grid,
+recorded as ``BENCH_advisor.json``.
+
+Runs ``repro.bench.experiments.advisor_divergent`` at the lab's full
+default scale: a deliberately coarse ``large``-interval primary observes
+a mixed workload (per-user billing histories, weight 15 each, plus a
+12%-selectivity regional GROUP BY, weight 2) through the query log; the
+advisor clusters the log, builds one specialist replica layout per
+cluster, and the workload reruns cost-routed over the advised fleet and
+pinned uniformly to the primary and to each advised layout.  Asserted
+claims (ISSUE 9 acceptance):
+
+* **routed >= 1.3x the best uniform** — the advisor-chosen divergent
+  fleet beats the *best* single uniform configuration (including each
+  of its own specialists applied fleet-wide) on aggregate weighted
+  simulated seconds;
+* **specialist routing** — every clustered query routes to exactly the
+  layout its :class:`AdvisorReport` names as that cluster's specialist
+  (the router's cost formula is the advisor's what-if formula);
+* **genuine divergence** — the report builds >= 2 layouts whose grids
+  differ.
+
+Query results are cross-checked against a full table scan inside the
+experiment before any timing is trusted.  The measured trajectory is
+written to ``BENCH_advisor.json`` at the repo root — one entry per day,
+so later PRs extend the series and must defend the baseline.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import experiments as exps
+from repro.bench.lab import MeterLab
+
+pytestmark = pytest.mark.slow
+
+# ISSUE 9 acceptance floor: routed fleet >= 1.3x the best uniform.
+SPEEDUP_FLOOR = 1.3
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_advisor.json"
+
+
+@pytest.fixture(scope="module")
+def advisor_experiment():
+    return exps.advisor_divergent(MeterLab())
+
+
+def test_divergent_fleet_beats_best_uniform(advisor_experiment):
+    data = advisor_experiment.data
+    assert data["speedup_vs_best_uniform"] >= SPEEDUP_FLOOR, (
+        f"routed divergent fleet is only "
+        f"{data['speedup_vs_best_uniform']:.2f}x the best uniform "
+        f"({data['best_uniform']}); the advisor is not earning its "
+        f"replica storage")
+    # the routed total really is the weighted sum it claims to be
+    recomputed = sum(q["weight"] * q["routed_seconds"]
+                     for q in data["queries"].values())
+    assert data["routed_total"] == pytest.approx(recomputed)
+
+
+def test_every_query_routes_to_its_specialist(advisor_experiment):
+    for label, q in advisor_experiment.data["queries"].items():
+        assert q["chosen"] == q["specialist"], (
+            f"{label}: routed to {q['chosen']!r} but its specialist is "
+            f"{q['specialist']!r}")
+
+
+def test_report_is_genuinely_divergent(advisor_experiment):
+    data = advisor_experiment.data
+    assert len(data["built"]) >= 2
+    grids = [tuple(sorted(g.items())) for g in data["grids"].values()]
+    assert len(set(grids)) == len(grids), (
+        f"advised layouts share a grid: {data['grids']}")
+    # every specialist beats the (deliberately mistuned) primary on the
+    # workload it was built for
+    for label, q in advisor_experiment.data["queries"].items():
+        assert q["routed_seconds"] <= \
+            q["uniform_seconds"]["primary"] * 1.05, (
+                f"{label}: routing did not recover the primary's cost")
+
+
+def test_recorded_in_report(advisor_experiment):
+    assert advisor_experiment.exp_id == "advisor-divergent"
+    rendered = advisor_experiment.markdown()
+    assert "specialist" in rendered and "groupby 12%" in rendered
+
+
+def test_writes_trajectory_file(advisor_experiment):
+    """Record the run in BENCH_advisor.json (one entry per day —
+    re-runs on the same day replace that day's entry, so the committed
+    trajectory grows one point per revision, not per invocation)."""
+    data = advisor_experiment.data
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    else:
+        document = {"bench": "advisor", "schema_version": 1,
+                    "unit": "aggregate weighted simulated seconds",
+                    "trajectory": []}
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "grids": data["grids"],
+        "best_uniform": data["best_uniform"],
+        "uniform_totals": data["uniform_totals"],
+        "routed_total": data["routed_total"],
+        "speedup_vs_best_uniform": data["speedup_vs_best_uniform"],
+        "queries": data["queries"],
+    }
+    trajectory = [e for e in document["trajectory"]
+                  if e["date"] != entry["date"]]
+    trajectory.append(entry)
+    document["trajectory"] = trajectory
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True)
+                          + "\n")
+    assert json.loads(BENCH_PATH.read_text())["trajectory"][-1][
+        "speedup_vs_best_uniform"] >= SPEEDUP_FLOOR

@@ -29,19 +29,20 @@ paper-vs-measured record of every table and figure.
 
 import warnings
 
-from repro.api import (Connection, Cursor, apilevel, connect, paramstyle,
-                       threadsafety)
+from repro.api import (Advice, Advisor, Connection, Cursor, apilevel,
+                       connect, paramstyle, threadsafety)
 from repro.hive.plan import Plan
 from repro.hive.session import QueryOptions, QueryResult
 from repro.core.dgf import (DgfIndexHandler, DimensionPolicy, PolicyAdvisor,
                             SplittingPolicy, add_precompute,
                             append_with_dgf)
+from repro.core.dgf.advisor import AdvisorReport
 from repro.mapreduce.cluster import (PAPER_CLUSTER, ClusterConfig,
                                      ExecutionConfig)
 from repro.mapreduce.cost import CostModel, TimeBreakdown
-from repro.service import GfuMetadataCache, QueryService
+from repro.service import GfuMetadataCache, QueryLog, QueryService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # stable public connection API
@@ -57,6 +58,11 @@ __all__ = [
     # serving layer
     "QueryService",
     "GfuMetadataCache",
+    # workload-driven tuning (docs/advisor.md)
+    "Advisor",
+    "Advice",
+    "AdvisorReport",
+    "QueryLog",
     # deprecated alias (import path kept; see __getattr__)
     "HiveSession",
     # index machinery

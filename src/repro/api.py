@@ -23,17 +23,40 @@ binding (the HiveQL dialect has no server-side placeholders), and
 Concurrency goes through :attr:`Connection.service` — a
 :class:`~repro.service.queryservice.QueryService` with a bounded admission
 queue — while single-statement calls stay on the caller's thread.
+
+Knob ownership (who tunes what)
+-------------------------------
+Three layers each own their knobs, and this module plumbs all of them:
+
+* **Planner, per query** — :class:`QueryOptions`, passed to every
+  ``execute(..., options=...)`` as an instance or a plain dict
+  (``{"dgf_layout": "fine"}``): index choice, the header-path ablation,
+  replica-layout pinning, reducer counts.
+* **Engine, per session** — :class:`~repro.mapreduce.cluster
+  .ExecutionConfig`, fixed at :func:`connect` time (``execution=...`` or
+  the ``vectorized=`` / ``engine_workers=`` shorthands): real in-process
+  task parallelism and the vectorized scan path.  Results are
+  byte-identical for every setting, so these never appear per query.
+* **Service, per connection** — ``max_workers=`` / ``queue_depth=`` size
+  :attr:`Connection.service`'s admission queue and worker pool.
+
+Unknown kwargs are rejected with a ``TypeError`` that names the layer the
+knob belongs to, rather than being silently dropped.
 """
 
 from __future__ import annotations
 
-from typing import (Any, Iterable, Iterator, List, Optional, Sequence,
-                    Tuple, Union)
+import dataclasses
 
+from typing import (Any, Iterable, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
+
+from repro.core.dgf.advisor import Advice
 from repro.errors import ExecutionError, InterfaceError, ReproError
 from repro.hdfs.filesystem import HDFS
 from repro.hive.plan import Plan
 from repro.hive.session import HiveSession, QueryOptions, QueryResult
+from repro.service.advisor import Advisor
 from repro.kvstore.hbase import KVStore
 from repro.mapreduce.cluster import (PAPER_CLUSTER, ClusterConfig,
                                      ExecutionConfig)
@@ -55,19 +78,66 @@ __all__ = [
     "apilevel", "threadsafety", "paramstyle",
     "connect", "Connection", "Cursor",
     "Error", "InterfaceError",
+    "Advice", "Advisor",
     "Plan", "QueryOptions", "QueryResult",
 ]
+
+#: valid QueryOptions field names (for dict coercion + error messages)
+_QUERY_OPTION_FIELDS = tuple(
+    f.name for f in dataclasses.fields(QueryOptions))
+
+#: knobs users reach for in the wrong layer, and where they live
+_MISPLACED_KNOBS = {
+    "vectorized": "connect(vectorized=...) — an engine (ExecutionConfig) "
+                  "knob fixed per session",
+    "max_workers": "connect(max_workers=...) — a service-pool knob fixed "
+                   "per connection",
+    "engine_workers": "connect(engine_workers=...) — an engine "
+                      "(ExecutionConfig) knob fixed per session",
+    "queue_depth": "connect(queue_depth=...) — a service-pool knob fixed "
+                   "per connection",
+}
+
+
+def _coerce_options(options: Union[None, QueryOptions, Mapping[str, Any]]
+                    ) -> Optional[QueryOptions]:
+    """Accept QueryOptions, a plain dict of its fields, or None.
+
+    Unknown keys raise ``TypeError`` naming the valid per-query knobs —
+    and point at :func:`connect` for knobs owned by the engine or
+    service layers.
+    """
+    if options is None or isinstance(options, QueryOptions):
+        return options
+    if isinstance(options, Mapping):
+        unknown = [key for key in options
+                   if key not in _QUERY_OPTION_FIELDS]
+        if unknown:
+            hints = [f"{key!r} belongs to {_MISPLACED_KNOBS[key]}"
+                     for key in unknown if key in _MISPLACED_KNOBS]
+            detail = ("; " + "; ".join(hints)) if hints else ""
+            raise TypeError(
+                f"unknown query option(s) {sorted(unknown)}; per-query "
+                f"(QueryOptions) knobs are {list(_QUERY_OPTION_FIELDS)}"
+                + detail)
+        return QueryOptions(**dict(options))
+    raise TypeError(
+        f"options must be QueryOptions, a dict of its fields, or None; "
+        f"got {type(options).__name__}")
 
 
 def connect(*, data_scale: float = 1.0,
             num_datanodes: int = 4,
             cluster: ClusterConfig = PAPER_CLUSTER,
             execution: Optional[ExecutionConfig] = None,
+            vectorized: Optional[bool] = None,
+            engine_workers: Optional[int] = None,
             cache: Union[bool, GfuMetadataCache] = True,
             max_workers: int = 1,
             queue_depth: int = DEFAULT_QUEUE_DEPTH,
             fs: Optional[HDFS] = None,
-            kvstore: Optional[KVStore] = None) -> "Connection":
+            kvstore: Optional[KVStore] = None,
+            **unknown: Any) -> "Connection":
     """Open a connection to a fresh (or supplied) simulated warehouse.
 
     ``cache`` controls the GFU-metadata cache (True = a fresh default
@@ -75,7 +145,30 @@ def connect(*, data_scale: float = 1.0,
     sizes the connection's query service; 1 (the default) runs statements
     on the calling thread and only starts service workers when
     :attr:`Connection.service` is first used.
+
+    ``vectorized`` / ``engine_workers`` are shorthands for the matching
+    :class:`ExecutionConfig` fields (``vectorized`` / ``max_workers``),
+    merged into ``execution``; see the module docstring for which layer
+    owns which knob.
     """
+    if unknown:
+        hints = [f"{key!r} is a per-query (QueryOptions) knob — pass it "
+                 f"via execute(..., options=...)"
+                 for key in unknown if key in _QUERY_OPTION_FIELDS]
+        detail = ("; " + "; ".join(hints)) if hints else ""
+        raise TypeError(
+            f"connect() got unknown keyword(s) {sorted(unknown)}; "
+            f"session/engine knobs are execution=/vectorized="
+            f"/engine_workers=, service knobs are max_workers="
+            f"/queue_depth=" + detail)
+    if vectorized is not None or engine_workers is not None:
+        overrides = {}
+        if vectorized is not None:
+            overrides["vectorized"] = vectorized
+        if engine_workers is not None:
+            overrides["max_workers"] = engine_workers
+        execution = dataclasses.replace(execution or ExecutionConfig(),
+                                        **overrides)
     session = HiveSession(fs=fs, kvstore=kvstore, cluster=cluster,
                           data_scale=data_scale,
                           num_datanodes=num_datanodes,
@@ -183,26 +276,35 @@ class Cursor:
     # -------------------------------------------------------------- execute
     def execute(self, operation: str,
                 parameters: Optional[Sequence[Any]] = None,
-                options: Optional[QueryOptions] = None) -> "Cursor":
-        """Run one statement; returns this cursor (chainable)."""
+                options: Union[None, QueryOptions,
+                               Mapping[str, Any]] = None) -> "Cursor":
+        """Run one statement; returns this cursor (chainable).
+
+        ``options`` takes a :class:`QueryOptions` or a plain dict of its
+        fields; unknown keys raise ``TypeError``.
+        """
         self._check_open()
         sql = operation if parameters is None \
             else bind_parameters(operation, parameters)
-        self._install(self._connection._execute(sql, options))
+        self._install(self._connection._execute(sql,
+                                                _coerce_options(options)))
         return self
 
     def executemany(self, operation: str,
-                    seq_of_parameters: Iterable[Sequence[Any]]) -> "Cursor":
+                    seq_of_parameters: Iterable[Sequence[Any]],
+                    options: Union[None, QueryOptions,
+                                   Mapping[str, Any]] = None) -> "Cursor":
         """Run ``operation`` once per parameter set, in order.
 
         ``rowcount`` accumulates across the sets; fetches see the last
-        statement's rows.
+        statement's rows.  ``options`` applies to every set.
         """
         self._check_open()
+        options = _coerce_options(options)
         total = 0
         ran = False
         for parameters in seq_of_parameters:
-            self.execute(operation, parameters)
+            self.execute(operation, parameters, options=options)
             total += max(self.rowcount, 0)
             ran = True
         if ran:
@@ -321,18 +423,36 @@ class Connection:
 
     def execute(self, sql: str,
                 parameters: Optional[Sequence[Any]] = None,
-                options: Optional[QueryOptions] = None) -> QueryResult:
-        """Run one statement and return its full :class:`QueryResult`."""
+                options: Union[None, QueryOptions,
+                               Mapping[str, Any]] = None) -> QueryResult:
+        """Run one statement and return its full :class:`QueryResult`.
+
+        ``options`` takes a :class:`QueryOptions` or a plain dict of its
+        fields; unknown keys raise ``TypeError``.
+        """
         if parameters is not None:
             sql = bind_parameters(sql, parameters)
-        return self._execute(sql, options)
+        return self._execute(sql, _coerce_options(options))
 
     def executemany(self, sql: str,
-                    seq_of_parameters: Iterable[Sequence[Any]]
+                    seq_of_parameters: Iterable[Sequence[Any]],
+                    options: Union[None, QueryOptions,
+                                   Mapping[str, Any]] = None
                     ) -> List[QueryResult]:
-        """Run ``sql`` once per parameter set; results in input order."""
-        return [self.execute(sql, parameters)
+        """Run ``sql`` once per parameter set; results in input order.
+        ``options`` applies to every set."""
+        options = _coerce_options(options)
+        return [self.execute(sql, parameters, options=options)
                 for parameters in seq_of_parameters]
+
+    def advisor(self, table: str, index: str, **kwargs: Any) -> Advisor:
+        """A workload-driven tuning :class:`~repro.service.advisor
+        .Advisor` for one DGF index: ``observe()`` captures the query
+        log, ``report()`` proposes divergent replica layouts,
+        ``apply()`` builds them, ``auto_tune()`` re-tunes on drift.
+        See docs/advisor.md."""
+        self._check_open()
+        return Advisor(self._session, table, index, **kwargs)
 
     def explain(self, sql: str, analyze: bool = False) -> Plan:
         """Structured :class:`Plan` for ``sql`` (executed when analyze)."""

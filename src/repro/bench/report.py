@@ -76,6 +76,8 @@ def run_all(meter_config: Optional[MeterLabConfig] = None,
          lambda: exps.vectorized_speedup(lab, tpch)),
         ("Ablation: replica-fleet layouts",
          lambda: exps.replica_fleet(lab)),
+        ("Ablation: divergent advisor fleet",
+         lambda: exps.advisor_divergent(lab)),
         ("Ablation: base formats", lambda: exps.ablation_formats(lab)),
         ("Partition explosion", lambda: exps.partition_explosion()),
     ]

@@ -97,6 +97,16 @@ class DgfIndexHandler(IndexHandler):
         if binding is not None and not binding.serves(index.name):
             binding = None
 
+        # Advisor query-log capture: note the query's region in *primary*
+        # grid coordinates before any routing, so the logged profile
+        # describes the query, not whichever layout served it.  Sessions
+        # without an attached log skip this entirely.
+        if getattr(session, "query_log", None) is not None:
+            from repro.service.querylog import region_spans
+            session.note_query_region(
+                table.name, index.name,
+                region_spans(policy, bounds, intervals), agg_path)
+
         # Replica-fleet routing: when the index has layout replicas, cost
         # every surviving layout for this query's region and read from the
         # cheapest (HAIL).  The ``dgf.route`` span, the plan's ``layout``
@@ -105,6 +115,17 @@ class DgfIndexHandler(IndexHandler):
         layout_name: Optional[str] = None
         read_table = table
         layouts = fleet.registered_layouts(index)
+        if not layouts and ctx.force_layout is not None:
+            # No fleet: forcing the primary is a harmless no-op (the
+            # differential harnesses pin it on fleetless baselines), but
+            # any other name must fail at plan time, not fall through to
+            # a silent primary scan.
+            from repro.hdfs.layout import PRIMARY_LAYOUT
+            if ctx.force_layout != PRIMARY_LAYOUT:
+                raise DGFError(
+                    f"cannot force layout {ctx.force_layout!r}: index "
+                    f"{index.name!r} has no replica fleet "
+                    f"(live: [{PRIMARY_LAYOUT!r}])")
         if layouts:
             layout_name, store, policy, bounds, read_table = \
                 self._route_layout(session, table, index, ctx, layouts,

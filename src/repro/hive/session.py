@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -53,7 +54,18 @@ from repro.storage.textfile import serialize_row
 
 @dataclass
 class QueryOptions:
-    """Per-query knobs (all default to the paper's transparent behaviour)."""
+    """Per-query knobs (all default to the paper's transparent behaviour).
+
+    Layer ownership: QueryOptions is the **planner's per-query** surface —
+    pass it (or a plain dict of its fields) to every
+    ``execute(..., options=...)``.  Session-wide engine mechanics
+    (vectorization, task threads) belong to
+    :class:`~repro.mapreduce.cluster.ExecutionConfig`, fixed at
+    ``repro.connect()`` time; service-pool sizing belongs to
+    ``connect(max_workers=..., queue_depth=...)``.  Unknown keys in the
+    dict form raise ``TypeError`` naming the right layer (see the
+    knob-ownership section of :mod:`repro.api`).
+    """
 
     use_index: bool = True
     #: force one specific index by name (None = automatic selection)
@@ -174,6 +186,12 @@ class HiveSession:
         # repro.delta.  Attached via attach_delta() / the query service's
         # streaming_writer().
         self._delta_bindings: Dict[str, Any] = {}
+        # Advisor query log: None (the default) disables capture entirely;
+        # attach a repro.service.querylog.QueryLog to record one compact
+        # LoggedQuery per executed DGF range query.  The pending region is
+        # thread-local so concurrent service workers never cross-log.
+        self.query_log = None
+        self._pending_region = threading.local()
         self._register_default_handlers()
 
     def set_data_scale(self, data_scale: float) -> None:
@@ -497,6 +515,36 @@ class HiveSession:
             root.children = [wrapper]
             root.add("fault.layout_downgrades")
 
+    # ------------------------------------------------------- query-log capture
+    def note_query_region(self, table: str, index: str, spans,
+                          agg_path: bool) -> None:
+        """Called by the DGF handler during planning (before replica
+        routing): stage this thread's query region for the log.  The
+        entry is only committed by :meth:`_finalize_query_log` once the
+        query has executed and measured itself — EXPLAIN-only planning
+        stages a region that the next execution simply discards."""
+        self._pending_region.value = {"table": table, "index": index,
+                                      "spans": spans, "agg_path": agg_path}
+
+    def _clear_query_region(self) -> None:
+        self._pending_region.value = None
+
+    def _finalize_query_log(self, stats: QueryStats, plan: Plan) -> None:
+        """Commit the staged region (if any) as one LoggedQuery."""
+        pending = getattr(self._pending_region, "value", None)
+        self._pending_region.value = None
+        if pending is None or self.query_log is None:
+            return
+        from repro.service.querylog import LoggedQuery
+        layout = plan.access.layout if plan.access is not None else None
+        self.query_log.record(LoggedQuery(
+            table=pending["table"], index=pending["index"],
+            spans=pending["spans"], agg_path=pending["agg_path"],
+            layout=layout, seconds=stats.time.total,
+            records_read=stats.records_read,
+            records_matched=stats.records_matched,
+            output_records=stats.output_records))
+
     def _execute_select(self, stmt: ast.SelectStmt, options: QueryOptions,
                         root: Span) -> QueryResult:
         """Run one SELECT under the ``root`` span.
@@ -507,6 +555,7 @@ class HiveSession:
         children's — the invariant ``EXPLAIN ANALYZE`` and the trace tests
         rely on.
         """
+        self._clear_query_region()
         with self.tracer.span("analyze") as analyze_span:
             analysis = hexec.analyze(self.metastore, stmt)
             analyze_span.set("columns", len(analysis.referenced_columns))
@@ -646,6 +695,7 @@ class HiveSession:
         query_plan = self._make_plan(analysis, plan, len(splits),
                                      vectorized=vectorized,
                                      delta=delta_info)
+        self._finalize_query_log(stats, query_plan)
         return QueryResult(columns=list(analysis.output_names), rows=rows,
                            stats=stats,
                            description=query_plan.render(),

@@ -83,6 +83,14 @@ class ExecutionConfig:
     proves results, stats and normalized traces stay byte-identical.
     When NumPy is not installed the flag is inert and the row engine
     runs everywhere.
+
+    Layer ownership: ExecutionConfig is a **per-session engine** setting,
+    fixed at ``repro.connect()`` time (``execution=...`` or the
+    ``vectorized=`` / ``engine_workers=`` shorthands) — never per query.
+    Per-query planner knobs live in
+    :class:`~repro.hive.session.QueryOptions`; the service pool is sized
+    by ``connect(max_workers=..., queue_depth=...)``.  See the knob-
+    ownership section of :mod:`repro.api`.
     """
 
     max_workers: int = 1

@@ -279,6 +279,23 @@ class CostModel:
                     + scaled_records * c.cpu_seconds_per_record / slots)
         return seconds
 
+    # --------------------------------------------------------------- what-if
+    def whatif_seconds(self, kv_gets: float, est_records: float,
+                       est_bytes: float) -> float:
+        """Hypothetical-layout pricing: the cost a query *would* pay on a
+        grid that has never been built.
+
+        Deliberately the same formula as :meth:`layout_route_seconds` —
+        the advisor's what-if evaluator (:mod:`repro.core.dgf.whatif`)
+        must price candidate grids with the exact model the replica-fleet
+        router will later use to choose between them, otherwise the
+        advisor could recommend a layout the router never picks.  The
+        only difference is that the caller *estimates* probes/records/
+        bytes from a candidate grid's geometry instead of measuring them
+        against stored per-layout statistics.
+        """
+        return self.layout_route_seconds(kv_gets, est_records, est_bytes)
+
     # ------------------------------------------------------------ raw writes
     def sequential_write_seconds(self, nbytes: int,
                                  parallel_streams: int = 1) -> float:

@@ -141,7 +141,11 @@ class BPlusTree:
         node = self._root
         while not node.leaf:
             self.pool.touch(node.page_id)
-            node = node.children[bisect.bisect_right(node.keys, key)]
+            # Descend left on equality: duplicates of a separator key can
+            # live in the left child (leaf splits promote sibling.keys[0]
+            # while equal keys remain left of the split point); the leaf
+            # chain walk below picks up the rest.
+            node = node.children[bisect.bisect_left(node.keys, key)]
         self.pool.touch(node.page_id)
         out = []
         idx = bisect.bisect_left(node.keys, key)
@@ -164,7 +168,9 @@ class BPlusTree:
         node = self._root
         while not node.leaf:
             self.pool.touch(node.page_id)
-            node = node.children[bisect.bisect_right(node.keys, low)]
+            # Descend left on equality (see search): duplicates of ``low``
+            # may sit in the left child of an equal separator.
+            node = node.children[bisect.bisect_left(node.keys, low)]
         out: List[Tuple[Any, Any]] = []
         idx = bisect.bisect_left(node.keys, low)
         while node is not None:

@@ -11,17 +11,27 @@ Two cooperating pieces sit between callers and one
   bounds) that eliminates repeated KV-store reads on warm queries while
   replaying identical logical accounting.
 
+The serving layer is also where workload-driven tuning lives: a bounded
+:class:`~repro.service.querylog.QueryLog` records every executed DGF
+range query, and the :class:`~repro.service.advisor.Advisor` facade
+turns that log into divergent replica layouts (see ``docs/advisor.md``).
+
 See ``docs/architecture.md`` ("The service and cache layers") and
 ``docs/api.md`` for how they surface through ``repro.connect()``.
 """
 
+from repro.service.advisor import Advisor
 from repro.service.cache import (CacheStats, GfuMetadataCache, MISSING)
+from repro.service.querylog import LoggedQuery, QueryLog
 from repro.service.queryservice import (DEFAULT_QUEUE_DEPTH, QueryService)
 
 __all__ = [
+    "Advisor",
     "CacheStats",
     "GfuMetadataCache",
+    "LoggedQuery",
     "MISSING",
     "DEFAULT_QUEUE_DEPTH",
+    "QueryLog",
     "QueryService",
 ]

@@ -1,0 +1,335 @@
+"""The Advisor facade: observe → report → apply → auto-tune.
+
+Public tuning surface over the whole advisor pipeline (reached via
+``Connection.advisor()``): attach a bounded
+:class:`~repro.service.querylog.QueryLog` to the session, turn the
+logged workload into an :class:`~repro.core.dgf.advisor.AdvisorReport`
+of divergent replica layouts priced by the router-aligned what-if
+evaluator, apply the report through the replica fleet, and — online —
+watch the log for workload drift and re-tune through a ``Workflow``
+whose decisions land in ``advisor:*`` trace spans and metrics.
+
+See ``docs/advisor.md`` for the walkthrough.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from repro.errors import DGFError
+
+__all__ = ["Advisor"]
+
+
+class Advisor:
+    """Workload-driven divergent tuning for one DGF index.
+
+    ``observe()`` starts query-log capture; ``report()`` clusters the
+    log and searches one specialist grid per cluster; ``apply()``
+    registers the advised replica layouts (the PR 8 router then sends
+    each query to its specialist); ``auto_tune()`` runs or schedules the
+    drift-watching re-tune workflow.
+    """
+
+    #: how many ledgered advisor traces to keep
+    TRACE_LIMIT = 32
+
+    def __init__(self, session, table: str, index: str, *,
+                 capacity: int = 1024, max_layouts: int = 2,
+                 layout_prefix: str = "adv-",
+                 drift_threshold: float = 0.2,
+                 min_queries: int = 4, window: int = 256):
+        self.session = session
+        self.table = table
+        self.index = index
+        self.capacity = capacity
+        self.max_layouts = max_layouts
+        self.layout_prefix = layout_prefix
+        self.drift_threshold = drift_threshold
+        self.min_queries = min_queries
+        self.window = window
+        #: the report most recently applied by :meth:`apply`
+        self.fitted = None
+        #: ledgered root-level ``advisor:*`` traces (newest last)
+        self.traces: List[Any] = []
+
+    # ------------------------------------------------------------- observing
+    def observe(self):
+        """Attach (or reuse) the session's query log and return it.
+
+        Observation is free for query observables: results, stats and
+        normalized traces are byte-identical with the log attached
+        (``tests/test_advisor_differential.py``).
+        """
+        from repro.service.querylog import QueryLog
+        if self.session.query_log is None:
+            self.session.query_log = QueryLog(capacity=self.capacity)
+        return self.session.query_log
+
+    def stop_observing(self) -> None:
+        """Detach the session's query log (entries are kept in it)."""
+        self.session.query_log = None
+
+    @property
+    def log(self):
+        """The session's attached query log, or None."""
+        return self.session.query_log
+
+    def entries(self, window: Optional[int] = None):
+        """Logged queries for this advisor's index, oldest first."""
+        if self.session.query_log is None:
+            return []
+        return self.session.query_log.for_index(self.table, self.index,
+                                                window=window)
+
+    # -------------------------------------------------------------- reporting
+    def _profiles(self, entries):
+        from repro.core.dgf.advisor import QueryProfile
+        return [QueryProfile(widths=entry.widths, weight=entry.weight,
+                             agg_path=entry.agg_path)
+                for entry in entries]
+
+    def report(self, max_layouts: Optional[int] = None,
+               window: Optional[int] = None):
+        """Divergent-tuning report for the logged workload.
+
+        Clusters the log's normalized query signatures, searches one GFU
+        grid per cluster under the what-if objective (the router's exact
+        cost formula), and returns an
+        :class:`~repro.core.dgf.advisor.AdvisorReport`.
+        """
+        from repro.core.dgf import fleet
+        from repro.core.dgf.advisor import PolicyAdvisor
+        from repro.core.dgf.whatif import WhatIfEvaluator, stats_from_policy
+        entries = self.entries(window=window)
+        if not entries:
+            raise DGFError(
+                f"advisor has no logged queries for "
+                f"{self.table}.{self.index}; call observe() and run the "
+                f"workload first")
+        with self._span("advisor:report", queries=len(entries)) as span:
+            session = self.session
+            table = session.metastore.get_table(self.table)
+            index = session.metastore.get_index(self.table, self.index)
+            store = session.dgf_store(table.name, index.name)
+            policy = store.load_policy()
+            bounds = store.load_bounds()
+            stats = stats_from_policy(policy, bounds)
+            try:
+                totals = store.get_meta(fleet.STATS_META)
+            except DGFError:
+                # Fleetless indexes only get router stats once a fleet op
+                # runs; compute them on first report.
+                totals = fleet.refresh_stats(session, table, store,
+                                             table.data_location)
+            evaluator = WhatIfEvaluator(session.cost_model, stats,
+                                        totals["records"],
+                                        totals["bytes"])
+            advisor = PolicyAdvisor(table.schema, index.columns,
+                                    cluster=session.cluster)
+            primary_counts = {key: k_max - k_min + 1
+                              for key, (k_min, k_max) in bounds.items()}
+            report = advisor.advise_divergent(
+                stats, self._profiles(entries), evaluator,
+                max_layouts=max_layouts or self.max_layouts,
+                layout_prefix=self.layout_prefix,
+                table=table.name, index=index.name,
+                primary_cell_counts=primary_counts)
+            span.set("layouts", ",".join(
+                layout.name for layout in report.layouts))
+            span.set("predicted_speedup",
+                     round(report.predicted_speedup, 4))
+            session.metrics.counter(
+                "advisor_reports_total",
+                "divergent-tuning reports produced").inc(
+                    table=table.name, index=index.name)
+        return report
+
+    # --------------------------------------------------------------- applying
+    def apply(self, report=None) -> List[str]:
+        """Build the report's replica layouts; returns the built names.
+
+        Stale advisor layouts (same prefix, not in the report) are
+        dropped first, so repeated re-tunes converge instead of
+        accumulating replicas.  A same-named layout whose *registered*
+        grid already matches the advice is kept as-is; one whose grid
+        changed is dropped and rebuilt — layout names are positional
+        (``adv-0``, ``adv-1``), so a re-tune routinely reuses a name for
+        a different grid.  A ``"primary"`` pseudo-layout needs no build.
+        The applied report becomes the drift baseline.
+        """
+        if report is None:
+            report = self.report()
+        with self._span("advisor:apply") as span:
+            session = self.session
+            from repro.core.dgf import fleet
+            index = session.metastore.get_index(self.table, self.index)
+            wanted = set(report.layout_names())
+            stale = [name for name in fleet.registered_layouts(index)
+                     if name.startswith(self.layout_prefix)
+                     and name not in wanted]
+            for name in stale:
+                session.drop_layout(self.table, self.index, name)
+            existing = fleet.registered_layouts(index)
+            built = []
+            for layout in report.layouts:
+                if layout.name == "primary":
+                    continue
+                grid = dict(layout.advice.properties)
+                current = existing.get(layout.name)
+                if current is not None:
+                    if current.grid_properties() == grid:
+                        continue
+                    session.drop_layout(self.table, self.index,
+                                        layout.name)
+                session.add_layout(self.table, self.index, layout.name,
+                                   grid=grid)
+                built.append(layout.name)
+            span.set("built", ",".join(built) or "-")
+            if stale:
+                span.set("dropped", ",".join(sorted(stale)))
+            self.fitted = report
+            session.metrics.counter(
+                "advisor_applies_total",
+                "advisor reports applied to the fleet").inc(
+                    table=self.table, index=self.index)
+            session.metrics.gauge(
+                "advisor_layouts",
+                "advisor-built replica layouts").set(
+                    len(wanted), table=self.table, index=self.index)
+        return built
+
+    # ------------------------------------------------------------------ drift
+    def drift(self, window: Optional[int] = None) -> float:
+        """Distribution distance between the recent log window and the
+        fitted report: the weighted mean distance of each recent query's
+        signature to its nearest fitted medoid.  ``inf`` before any
+        :meth:`apply`; ``0.0`` on an empty window."""
+        from repro.core.dgf.advisor import signature_distance
+        if self.fitted is None:
+            return float("inf")
+        entries = self.entries(window=window or self.window)
+        if not entries:
+            return 0.0
+        medoids = [medoid for layout in self.fitted.layouts
+                   for medoid in layout.medoids]
+        if not medoids:
+            return float("inf")
+        total = 0.0
+        weight = 0.0
+        for entry, signature in zip(entries, self._signatures(entries)):
+            total += entry.weight * min(
+                signature_distance(signature, medoid)
+                for medoid in medoids)
+            weight += entry.weight
+        return total / max(weight, 1e-12)
+
+    def _signatures(self, entries):
+        from repro.core.dgf.advisor import signature_of
+        from repro.core.dgf.whatif import stats_from_policy
+        session = self.session
+        index = session.metastore.get_index(self.table, self.index)
+        store = session.dgf_store(self.table, self.index)
+        stats = stats_from_policy(store.load_policy(),
+                                  store.load_bounds())
+        return [signature_of(profile, stats, list(index.columns))
+                for profile in self._profiles(entries)]
+
+    # ------------------------------------------------------------ online mode
+    def retune_workflow(self, window: Optional[int] = None,
+                        max_layouts: Optional[int] = None):
+        """The drift-watching re-tune DAG: snapshot → decide → retune.
+
+        ``decide`` measures :meth:`drift` over the recent window and
+        chooses ``"insufficient"`` (too few logged queries),
+        ``"stable"`` (drift under the threshold) or ``"retune"``;
+        ``retune`` re-reports and re-applies only in the last case.
+        Run it directly (``wf.run(session)``) or place it on a
+        :class:`~repro.workflow.coordinator.Coordinator` via
+        :meth:`auto_tune`.
+        """
+        from repro.workflow.dag import Workflow
+        window = window or self.window
+
+        def snapshot(context):
+            entries = self.entries(window=window)
+            return {"queries": len(entries)}
+
+        def decide(context):
+            entries = self.entries(window=window)
+            drift = self.drift(window=window)
+            self.session.metrics.gauge(
+                "advisor_drift",
+                "signature drift vs the fitted report").set(
+                    0.0 if drift == float("inf") else drift,
+                    table=self.table, index=self.index)
+            if len(entries) < self.min_queries:
+                decision = "insufficient"
+            elif drift <= self.drift_threshold:
+                decision = "stable"
+            else:
+                decision = "retune"
+            return {"decision": decision, "drift": drift}
+
+        def retune(context):
+            decision = context["results"]["decide"]["decision"]
+            outcome = decision
+            if decision == "retune":
+                report = self.report(max_layouts=max_layouts,
+                                     window=window)
+                built = self.apply(report)
+                outcome = f"retuned:{len(built)}"
+            self.session.metrics.counter(
+                "advisor_retunes_total",
+                "re-tune workflow outcomes").inc(
+                    table=self.table, index=self.index,
+                    outcome=outcome.split(":")[0])
+            return {"outcome": outcome}
+
+        return (Workflow("advisor-retune")
+                .add("snapshot", snapshot)
+                .add("decide", decide, after=("snapshot",))
+                .add("retune", retune, after=("decide",), max_attempts=2))
+
+    def auto_tune(self, coordinator=None, period: Optional[float] = None,
+                  window: Optional[int] = None,
+                  max_layouts: Optional[int] = None):
+        """Online mode.  Without a coordinator: run one re-tune cycle now
+        and return its :class:`WorkflowRun`.  With one: schedule the
+        workflow every ``period`` simulated seconds and return the
+        schedule entry."""
+        self.observe()
+        workflow = self.retune_workflow(window=window,
+                                        max_layouts=max_layouts)
+        if coordinator is None:
+            return workflow.run(self.session)
+        return coordinator.schedule(workflow, period=period or 3600.0)
+
+    # ------------------------------------------------------------------ misc
+    def status(self) -> Dict[str, Any]:
+        """One-look summary: log depth, fitted layouts, current drift."""
+        log = self.session.query_log
+        drift = self.drift()
+        return {"table": self.table, "index": self.index,
+                "observing": log is not None,
+                "logged": len(self.entries()),
+                "log_total": log.total if log is not None else 0,
+                "fitted": self.fitted is not None,
+                "layouts": (self.fitted.layout_names()
+                            if self.fitted is not None else []),
+                "drift": None if drift == float("inf") else drift}
+
+    @contextmanager
+    def _span(self, name: str, **attrs):
+        """An ``advisor:*`` span; when it is a root (no query running on
+        this thread) the resulting one-span trace is ledgered in
+        :attr:`traces` so online decisions stay auditable."""
+        from repro.obs.trace import Trace
+        tracer = self.session.tracer
+        is_root = tracer.current() is None
+        with tracer.span(name, **attrs) as span:
+            yield span
+        if is_root and tracer.enabled:
+            self.traces.append(Trace(span))
+            del self.traces[:-self.TRACE_LIMIT]

@@ -244,3 +244,64 @@ class TestParameterBinding:
             bind_parameters("SELECT ?", (True,))
         with pytest.raises(InterfaceError):
             bind_parameters("SELECT ?", (object(),))
+
+
+class TestKnobOwnership:
+    """Every tuning knob has exactly one home, and misplacement is loud."""
+
+    def test_connect_rejects_unknown_keywords(self):
+        with pytest.raises(TypeError, match="unknown keyword"):
+            repro.connect(bogus=1)
+
+    def test_connect_redirects_per_query_knobs(self):
+        with pytest.raises(TypeError, match="QueryOptions"):
+            repro.connect(use_index=False)
+        with pytest.raises(TypeError, match="dgf_layout"):
+            repro.connect(dgf_layout="primary")
+
+    def test_connect_engine_shorthands(self):
+        with repro.connect(vectorized=True, engine_workers=2) as connection:
+            assert connection.session.execution.vectorized is True
+            assert connection.session.execution.max_workers == 2
+
+    def test_execute_accepts_dict_options(self, conn):
+        indexed = conn.execute(
+            "SELECT count(*) FROM meterdata WHERE userid >= 0")
+        scanned = conn.execute(
+            "SELECT count(*) FROM meterdata WHERE userid >= 0",
+            options={"use_index": False})
+        assert scanned.rows == indexed.rows
+        assert scanned.stats.index_used is None
+
+    def test_execute_rejects_unknown_option_keys(self, conn):
+        with pytest.raises(TypeError, match="unknown query option"):
+            conn.execute("SELECT count(*) FROM meterdata",
+                         options={"nope": 1})
+
+    def test_execute_redirects_session_knobs(self, conn):
+        with pytest.raises(TypeError, match="connect"):
+            conn.execute("SELECT count(*) FROM meterdata",
+                         options={"vectorized": True})
+
+    def test_execute_rejects_non_mapping_options(self, conn):
+        with pytest.raises(TypeError, match="QueryOptions"):
+            conn.execute("SELECT count(*) FROM meterdata", options=42)
+
+    def test_executemany_accepts_dict_options(self, conn):
+        cursor = conn.cursor()
+        cursor.executemany(
+            "SELECT count(*) FROM meterdata WHERE userid >= ?",
+            [(0,), (100,)], options={"use_index": False})
+        assert cursor.fetchone() is not None
+
+    def test_connection_advisor_facade(self, conn):
+        from repro.service.advisor import Advisor
+        advisor = conn.advisor("meterdata", "dgf_idx")
+        assert isinstance(advisor, Advisor)
+        assert advisor.session is conn.session
+        advisor.observe()
+        conn.execute("SELECT sum(powerconsumed) FROM meterdata "
+                     "WHERE userid >= 40 AND userid < 45")
+        assert len(advisor.entries()) == 1
+        report = advisor.report()
+        assert report.layouts

@@ -97,21 +97,30 @@ class TestAdvisor:
         with pytest.raises(DGFError):
             PolicyAdvisor(schema, ["u"]).profile_data([])
 
-    def test_recommend_produces_valid_policy(self, schema, rows):
+    def test_advise_produces_valid_policy(self, schema, rows):
         advisor = PolicyAdvisor(schema, ["u", "r", "d"],
                                 records_per_unit_volume=1e9)
         history = [{"u": Interval(low=100, high=200),
                     "d": Interval(low="2012-12-02", high="2012-12-05")}]
-        policy = advisor.recommend(rows, history)
+        policy = advisor.advise(rows, history).policy
         assert isinstance(policy, SplittingPolicy)
         assert policy.names == ["u", "r", "d"]
         # discrete dims get integer intervals
         assert policy.dimension("r").interval == int(
             policy.dimension("r").interval)
 
-    def test_recommend_needs_history(self, schema, rows):
+    def test_advise_needs_history(self, schema, rows):
         with pytest.raises(DGFError):
-            PolicyAdvisor(schema, ["u"]).recommend(rows, [])
+            PolicyAdvisor(schema, ["u"]).advise(rows, [])
+
+    def test_recommend_shim_warns_and_matches_advise(self, schema, rows):
+        advisor = PolicyAdvisor(schema, ["u", "d"],
+                                records_per_unit_volume=1e9)
+        history = [{"u": Interval(low=100, high=200)}]
+        with pytest.warns(DeprecationWarning, match="recommend"):
+            legacy = advisor.recommend(rows, history)
+        assert legacy.to_dict() == advisor.advise(rows, history) \
+            .policy.to_dict()
 
     def test_cost_tradeoff_visible(self, schema, rows):
         """More cells -> more gets; fewer cells -> more boundary read.
@@ -125,8 +134,8 @@ class TestAdvisor:
             {"u": 1024, "r": 1024, "d": 1024}, stats, profiles)
         one_cell = advisor.expected_query_cost(
             {"u": 1, "r": 1, "d": 1}, stats, profiles)
-        chosen = advisor.recommend(rows,
-                                   [{"u": Interval(low=100, high=200)}])
+        chosen = advisor.advise(
+            rows, [{"u": Interval(low=100, high=200)}]).policy
         counts = {}
         for dim in chosen.dimensions:
             span = stats[dim.name.lower()].span
@@ -138,8 +147,8 @@ class TestAdvisor:
     def test_properties_for_roundtrip(self, schema, rows):
         advisor = PolicyAdvisor(schema, ["u", "d"],
                                 records_per_unit_volume=1e9)
-        policy = advisor.recommend(
-            rows, [{"u": Interval(low=0, high=500)}])
+        policy = advisor.advise(
+            rows, [{"u": Interval(low=0, high=500)}]).policy
         properties = PolicyAdvisor.properties_for(policy)
         rebuilt = SplittingPolicy.from_properties(schema, ["u", "d"],
                                                   properties)

@@ -96,6 +96,15 @@ def test_replicas_doctests():
     assert results.failed == 0
 
 
+def test_advisor_doctests():
+    """Every ``>>>`` example in docs/advisor.md must run verbatim."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "advisor.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 50, "doctest examples went missing"
+    assert results.failed == 0
+
+
 def test_vectorized_doctests():
     """Every ``>>>`` example in docs/vectorized.md must run verbatim.
 
