@@ -1,0 +1,137 @@
+"""Benchmark: the aggregation pyramid's KV-probe win on a massive grid.
+
+A 128x128 DGF grid (16384 cells, one exact-dyadic row per cell) is
+queried over a deliberately misaligned 114x114 window, so the inner
+region spans 12996 cells — past the ISSUE 10 floor of 10^4.  The flat
+header path must probe every inner cell; the pyramid answers the same
+region from a greedy cover of aligned nodes plus a thin fringe of
+level-0 leaves.  Asserted, after proving the answers byte-identical:
+
+* **>= 10x fewer physical KV gets** pyramid on vs. off (the paper-style
+  cost driver: header probes are the aggregation path's I/O);
+* the cover is logarithmic-class — node + leaf count under 1/10th of
+  the inner-cell count (same bound seen from the plan, not the stats).
+
+The measured trajectory is appended to ``BENCH_pyramid.json`` at the
+repo root — one entry per day, so later PRs extend the series and must
+defend the probe ratio.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.hive.session import HiveSession, QueryOptions
+
+pytestmark = pytest.mark.slow
+
+#: the ISSUE 10 acceptance floor.
+PROBE_RATIO_FLOOR = 10.0
+
+USERS = 128
+TS_VALUES = 128
+
+SQL = ("SELECT sum(powerconsumed), count(powerconsumed) FROM meterbig "
+       "WHERE userid >= 3 AND userid < 117 "
+       "AND ts >= 103 AND ts < 217")
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_pyramid.json"
+
+
+@pytest.fixture(scope="module")
+def measured():
+    session = HiveSession(cache=False)
+    session.execute("CREATE TABLE meterbig (userid bigint, regionid int, "
+                    "ts bigint, powerconsumed double)")
+    session.load_rows("meterbig",
+                      [(u, u % 3, 100 + t, ((u * 13 + t) % 1024) / 64.0)
+                       for u in range(USERS) for t in range(TS_VALUES)])
+    session.execute("CREATE INDEX bigidx ON TABLE meterbig(userid, ts) "
+                    "AS 'dgf' IDXPROPERTIES ('userid'='0_1', 'ts'='100_1', "
+                    "'precompute'='sum(powerconsumed),"
+                    "count(powerconsumed)')")
+    summary = session.build_pyramid("meterbig", "bigidx")
+
+    before = session.kvstore.snapshot_stats()
+    start = time.perf_counter()
+    on = session.execute(SQL)
+    on_seconds = time.perf_counter() - start
+    on_gets = session.kvstore.stats_delta(before).gets
+
+    before = session.kvstore.snapshot_stats()
+    start = time.perf_counter()
+    off = session.execute(SQL, QueryOptions(dgf_pyramid=False))
+    off_seconds = time.perf_counter() - start
+    off_gets = session.kvstore.stats_delta(before).gets
+
+    return {"summary": summary["primary"], "on": on, "off": off,
+            "on_gets": on_gets, "off_gets": off_gets,
+            "on_seconds": on_seconds, "off_seconds": off_seconds}
+
+
+def test_answers_identical(measured):
+    assert measured["on"].rows == measured["off"].rows
+    assert measured["on"].stats.index_kv_gets == \
+        measured["off"].stats.index_kv_gets, (
+            "logical accounting must not depend on the pyramid")
+
+
+def test_inner_region_is_massive(measured):
+    access = measured["off"].plan.access
+    assert access.inner_gfus >= 10_000, (
+        f"inner region only {access.inner_gfus} cells; the benchmark "
+        f"no longer exercises the massive-grid regime")
+
+
+def test_physical_probe_ratio_at_least_10x(measured):
+    ratio = measured["off_gets"] / max(1, measured["on_gets"])
+    assert ratio >= PROBE_RATIO_FLOOR, (
+        f"pyramid saved only {ratio:.1f}x physical KV gets "
+        f"({measured['off_gets']} flat vs {measured['on_gets']} pyramid)")
+
+
+def test_cover_is_logarithmic_class(measured):
+    access = measured["on"].plan.access
+    probes = access.pyramid_nodes + access.pyramid_leaves
+    inner = measured["off"].plan.access.inner_gfus
+    assert probes * PROBE_RATIO_FLOOR <= inner, (
+        f"cover of {probes} probes over {inner} inner cells is not "
+        f"10x-class")
+    assert access.pyramid_levels >= 2, "cover never left level 1"
+
+
+def test_writes_trajectory_file(measured):
+    """Record the run in BENCH_pyramid.json (one entry per day — re-runs
+    on the same day replace that day's entry, so the committed
+    trajectory grows one point per revision, not per invocation)."""
+    if BENCH_PATH.exists():
+        document = json.loads(BENCH_PATH.read_text())
+    else:
+        document = {"bench": "pyramid", "schema_version": 1,
+                    "unit": "physical KV gets per query (and seconds)",
+                    "trajectory": []}
+    access = measured["on"].plan.access
+    entry = {
+        "date": time.strftime("%Y-%m-%d"),
+        "grid": f"{USERS}x{TS_VALUES}",
+        "inner_cells": measured["off"].plan.access.inner_gfus,
+        "pyramid": {"levels": access.pyramid_levels,
+                    "nodes": access.pyramid_nodes,
+                    "leaves": access.pyramid_leaves,
+                    "built_nodes": measured["summary"]["nodes"]},
+        "kv_gets": {"flat": measured["off_gets"],
+                    "pyramid": measured["on_gets"],
+                    "ratio": round(measured["off_gets"]
+                                   / max(1, measured["on_gets"]), 2)},
+        "seconds": {"flat": round(measured["off_seconds"], 4),
+                    "pyramid": round(measured["on_seconds"], 4)},
+    }
+    trajectory = [e for e in document["trajectory"]
+                  if e["date"] != entry["date"]]
+    trajectory.append(entry)
+    document["trajectory"] = trajectory
+    BENCH_PATH.write_text(json.dumps(document, indent=2, sort_keys=True)
+                          + "\n")
+    assert json.loads(BENCH_PATH.read_text())["trajectory"][-1]["kv_gets"]

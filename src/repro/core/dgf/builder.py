@@ -259,6 +259,14 @@ def build_dgf_index(session, index: IndexInfo) -> BuildReport:
         for path in session.fs.list_files(old_location):
             session.fs.delete(path)
 
+    # A rebuilt base invalidates every pyramid node derived from the old
+    # headers; regenerate from scratch (the fleet — and its per-layout
+    # pyramids — was dropped above, so only the primary remains).
+    from repro.pyramid import PYRAMID_STATE_KEY, rebuild_pyramid
+    if PYRAMID_STATE_KEY in index.state:
+        index.state[PYRAMID_STATE_KEY]["layouts"] = {}
+        rebuild_pyramid(session, index)
+
     kv_delta = session.kvstore.stats_delta(kv_before)
     build_time = (session.cost_model.job_seconds(stats)
                   + session.cost_model.kv_seconds(kv_delta))
@@ -325,6 +333,11 @@ def add_precompute(session, table_name: str, index_name: str,
     stats.map_input_bytes = session.fs.io.delta(io_before).bytes_read
     store.put_meta("precompute",
                    existing + [agg.key for agg in aggregates])
+    # The new per-GFU states must appear in every summarized ancestor too;
+    # only the primary headers changed, so layout pyramids stay as-is.
+    from repro.pyramid import PYRAMID_STATE_KEY, rebuild_pyramid
+    if PYRAMID_STATE_KEY in index.state:
+        rebuild_pyramid(session, index)
 
     kv_delta = session.kvstore.stats_delta(kv_before)
     build_time = (session.cost_model.job_seconds(stats)
@@ -363,12 +376,15 @@ def append_with_dgf(session, table_name: str, index_name: str,
     if session.fs.exists(staging):
         session.fs.delete(staging, recursive=True)
     session.fs.mkdirs(staging)
+    dim_positions = [table.schema.index_of(name) for name in policy.names]
+    touched: set = set()
     with formats.open_row_writer(session.fs, f"{staging}/data_0",
                                  table) as writer:
         count = 0
         for row in rows:
             table.schema.validate_row(row)
             writer.write_row(row)
+            touched.add(policy.key_of_row([row[p] for p in dim_positions]))
             count += 1
 
     if count == 0:
@@ -388,6 +404,12 @@ def append_with_dgf(session, table_name: str, index_name: str,
         generation=generation)
     store.put_meta("bounds", compute_bounds(store, policy))
     store.put_meta("generation", generation)
+    # Incremental pyramid maintenance: appends touch few cells (new data
+    # arrives along the time dimension), so only the touched cells'
+    # ancestor chains are recomputed — no full pyramid rebuild.
+    from repro.pyramid import PYRAMID_STATE_KEY, refresh_cells
+    if PYRAMID_STATE_KEY in index.state:
+        refresh_cells(session, index, sorted(touched))
     # Replica layouts ingest the same staged rows before staging is
     # deleted — a fleet member is either current or dropped, never stale.
     from repro.core.dgf import fleet

@@ -216,6 +216,12 @@ def add_replica_layout(session, table_name: str, index_name: str,
     registry = index.state.setdefault(LAYOUTS_STATE_KEY, {})
     registry[layout_name] = descriptor.to_dict()
 
+    # A pyramid-enabled index summarizes every fleet member under its own
+    # namespace (the router may answer inner regions from any layout).
+    from repro.pyramid import PYRAMID_STATE_KEY, rebuild_pyramid
+    if PYRAMID_STATE_KEY in index.state:
+        rebuild_pyramid(session, index, layout_name=layout_name)
+
     kv_delta = session.kvstore.stats_delta(kv_before)
     build_time = (session.cost_model.job_seconds(stats)
                   + session.cost_model.kv_seconds(kv_delta))
@@ -244,6 +250,12 @@ def drop_layout(session, table: TableInfo, index: IndexInfo,
     descriptor = LayoutDescriptor.from_dict(doc)
     alias = layout_index_name(index.name, layout_name)
     DgfStore(session.kvstore, table.name, alias).clear()
+    from repro.pyramid import PYRAMID_STATE_KEY, drop_pyramid
+    pyramid_state = index.state.get(PYRAMID_STATE_KEY)
+    if pyramid_state is not None:
+        drop_pyramid(session, table.name, index.name,
+                     layout_name=layout_name)
+        pyramid_state.get("layouts", {}).pop(layout_name, None)
     session._invalidate_index_cache(table.name, alias)
     session.fs.unregister_layout(descriptor.root)
     if session.fs.exists(descriptor.root):
@@ -288,6 +300,11 @@ def append_to_layouts(session, table: TableInfo, index: IndexInfo,
         store.put_meta("generation", generation)
         refresh_stats(session, table, store, descriptor.root)
         session._invalidate_index_cache(table.name, alias.name)
+        # Layout grids differ from the primary's, so the touched-cell set
+        # does not transfer; regenerate this layout's pyramid wholesale.
+        from repro.pyramid import PYRAMID_STATE_KEY, rebuild_pyramid
+        if PYRAMID_STATE_KEY in index.state:
+            rebuild_pyramid(session, index, layout_name=name)
         updated.append(name)
     if updated:
         refresh_stats(session, table,

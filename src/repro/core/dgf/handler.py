@@ -60,6 +60,34 @@ def _avg_components(key: str) -> Optional[Tuple[str, str]]:
     return f"sum({arg})", "count(*)"
 
 
+def demote_suppressed_cells(inner_keys, boundary_keys, overlay,
+                            agg_path: bool
+                            ) -> Tuple[List[str], List[str], List[str]]:
+    """Demote tombstone-suppressed inner cells to the boundary scan.
+
+    An inner cell with tombstones can no longer be answered from its
+    pre-computed header (the header still counts suppressed rows), so it
+    moves to the boundary scan, where the exact predicate plus the
+    overlay's tombstone filter produce the surviving rows.  Pending-only
+    cells keep their headers — their delta rows arrive via synthetic
+    splits and merge additively.  When *every* inner cell is suppressed
+    the result degenerates to the pure slice path: no headers are folded
+    and the plan reports ``inner_gfus == 0``.
+
+    Returns ``(inner, boundary, demoted)`` — the demoted keys also feed
+    the aggregation pyramid, which must not cover them with any node.
+    """
+    inner = list(inner_keys)
+    boundary = list(boundary_keys)
+    if overlay is None or not agg_path or not overlay.has_suppression:
+        return inner, boundary, []
+    demoted = [key for key in inner if key in overlay.suppress]
+    if not demoted:
+        return inner, boundary, []
+    inner = [key for key in inner if key not in overlay.suppress]
+    return inner, boundary + demoted, demoted
+
+
 class DgfIndexHandler(IndexHandler):
     handler_name = "dgf"
 
@@ -71,6 +99,9 @@ class DgfIndexHandler(IndexHandler):
         fleet.drop_layouts(session,
                            session.metastore.get_table(index.table), index)
         DgfStore(session.kvstore, index.table, index.name).clear()
+        from repro.pyramid import PYRAMID_STATE_KEY, drop_pyramid
+        drop_pyramid(session, index.table, index.name)
+        index.state.pop(PYRAMID_STATE_KEY, None)
 
     # ------------------------------------------------------------------ query
     def plan_access(self, session, table: TableInfo, index: IndexInfo,
@@ -151,29 +182,58 @@ class DgfIndexHandler(IndexHandler):
                 merge_span.add("delta.rows", overlay.num_rows)
                 merge_span.add("delta.suppressed", overlay.num_suppressed)
 
-        inner_keys = list(search.inner_keys)
-        boundary_keys = list(search.boundary_keys)
-        if overlay is not None and agg_path and overlay.has_suppression:
-            # An inner cell with tombstones can no longer be answered from
-            # its pre-computed header (the header still counts suppressed
-            # rows); demote it to the boundary scan.  Pending-only cells
-            # keep their headers — their delta rows arrive via synthetic
-            # splits and merge additively.
-            demoted = [k for k in inner_keys if k in overlay.suppress]
-            if demoted:
-                inner_keys = [k for k in inner_keys
-                              if k not in overlay.suppress]
-                boundary_keys = boundary_keys + demoted
+        inner_keys, boundary_keys, suppressed = demote_suppressed_cells(
+            search.inner_keys, search.boundary_keys, overlay, agg_path)
+
+        # Aggregation pyramid (src/repro/pyramid/): when the chosen layout
+        # has a built pyramid, answer the inner region from O(polylog)
+        # node reads instead of one header probe per cell.  Strictly a
+        # *physical* accelerator: the decomposition below is pure
+        # geometry, the node fetches live in a strippable ``dgf.pyramid``
+        # span, and the logical accounting (``kv.gets``, ``gfus``,
+        # ``probes`` and the simulated index time) is replayed exactly as
+        # the flat path records it.
+        pyramid_values = None
+        pyramid_stats: Dict[str, int] = {}
+        if agg_path and ctx.use_pyramid and inner_keys:
+            from repro import pyramid as pyr
+            plevels = pyr.pyramid_levels(index, layout_name)
+            if plevels:
+                fanout = pyr.pyramid_fanout(index)
+                cover = pyr.decompose_region(policy, search.inner_keys,
+                                             suppressed, fanout, plevels)
+                if cover is not None:
+                    pstore = pyr.pyramid_store(session, table.name,
+                                               index.name, layout_name)
+                    with tracer.span("dgf.pyramid") as pyr_span:
+                        pyramid_values, pyramid_stats = pyr.resolve_cover(
+                            pstore, store, policy, cover, fanout)
+                        pyr_span.add("pyramid.levels",
+                                     pyramid_stats["levels"])
+                        pyr_span.add("pyramid.nodes",
+                                     pyramid_stats["nodes"])
+                        pyr_span.add("pyramid.leaves",
+                                     pyramid_stats["leaves"])
 
         header_states: Optional[Dict[str, Any]] = None
         slices: List[SliceLocation] = []
         inner_hits = boundary_hits = 0
         if agg_path:
             with tracer.span("dgf.inner_headers") as inner_span:
-                inner_values = store.multi_get(inner_keys)
-                inner_hits = len(inner_values)
-                header_states = self._merge_headers(ctx.agg_keys,
-                                                    inner_values.values())
+                if pyramid_values is not None:
+                    # Replay the flat path's logical accounting: one get
+                    # per inner cell, hit count equal to the present
+                    # cells the nodes summarize.  The physical reads
+                    # already happened inside the ``dgf.pyramid`` span.
+                    session.kvstore.note_cached_gets(len(inner_keys))
+                    inner_hits = pyramid_stats["inner_hits"]
+                    header_states = self._merge_headers(ctx.agg_keys,
+                                                        pyramid_values)
+                else:
+                    inner_values = store.multi_get(inner_keys)
+                    inner_hits = len(inner_values)
+                    header_states = self._merge_headers(
+                        ctx.agg_keys, inner_values.values())
                 inner_span.add("gfus", inner_hits)
                 inner_span.add("headers_merged", len(header_states))
             with tracer.span("dgf.boundary_slices") as boundary_span:
@@ -239,7 +299,10 @@ class DgfIndexHandler(IndexHandler):
             index_kv_gets=probes,
             delta_cells=delta_cells,
             delta_rows=delta_rows,
-            layout=layout_name)
+            layout=layout_name,
+            pyramid_levels=pyramid_stats.get("levels", 0),
+            pyramid_nodes=pyramid_stats.get("nodes", 0),
+            pyramid_leaves=pyramid_stats.get("leaves", 0))
 
     # ---------------------------------------------------------------- routing
     def _route_layout(self, session, table: TableInfo, index: IndexInfo,
@@ -304,6 +367,22 @@ class DgfIndexHandler(IndexHandler):
                                          force_all_boundary=not agg_path)
                     probes = (len(search.inner_keys)
                               + len(search.boundary_keys))
+                    # Pyramid-aware routing: a layout with a built
+                    # pyramid answers its inner region in O(polylog)
+                    # probes, so fine grids are costed honestly.  Only
+                    # active once a pyramid exists — fleet scores (and
+                    # the ``score.*`` span attributes) are unchanged
+                    # until then.
+                    if agg_path and search.inner_keys:
+                        from repro import pyramid as pyr
+                        plevels = pyr.pyramid_levels(index, name)
+                        if plevels:
+                            cover = pyr.decompose_region(
+                                cpolicy, search.inner_keys, (),
+                                pyr.pyramid_fanout(index), plevels)
+                            if cover is not None:
+                                probes = (len(search.boundary_keys)
+                                          + cover.probes)
                     stats = cstore.get_meta(fleet.STATS_META)
                     per_gfu = max(1, stats["gfus"])
                     scan_cells = len(search.boundary_keys)

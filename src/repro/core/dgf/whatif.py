@@ -76,11 +76,17 @@ class WhatIfEvaluator:
 
     def __init__(self, cost_model: CostModel,
                  stats: Dict[str, DimensionStats],
-                 total_records: float, total_bytes: float):
+                 total_records: float, total_bytes: float,
+                 pyramid_fanout: Optional[int] = None):
         self.cost_model = cost_model
         self.stats = stats
         self.total_records = max(float(total_records), 1.0)
         self.total_bytes = max(float(total_bytes), 0.0)
+        #: when set, inner regions are priced with the aggregation
+        #: pyramid's logarithmic probe count instead of one get per inner
+        #: cell — fine grids stop being penalized for probe volume their
+        #: pyramid would never pay.  None prices flat header probes.
+        self.pyramid_fanout = pyramid_fanout
 
     def query_seconds(self, profile: QueryProfile,
                       cell_counts: Dict[str, int]) -> float:
@@ -88,6 +94,7 @@ class WhatIfEvaluator:
         probes = 1.0
         inner = 1.0
         grid_cells = 1.0
+        inner_extents = []
         for key, count in cell_counts.items():
             dim = self.stats[key]
             count = max(1, int(count))
@@ -101,13 +108,26 @@ class WhatIfEvaluator:
             if width >= dim.span:
                 # full coverage: no boundary shell along this dimension
                 inner *= overlapped
+                inner_extents.append(overlapped)
             else:
                 inner *= max(0.0, overlapped - 2.0)
+                inner_extents.append(max(0.0, overlapped - 2.0))
             grid_cells *= count
         if profile.agg_path:
             scan_cells = probes - inner
         else:
             scan_cells = probes
+        if self.pyramid_fanout and profile.agg_path and inner >= 1.0:
+            # The pyramid answers the inner box from summarized nodes:
+            # replace its one-get-per-cell term with the decomposition's
+            # node + fringe count (the exact planner geometry).
+            from repro.pyramid.build import levels_for_extent
+            levels = max(levels_for_extent(max(1, int(c)),
+                                           self.pyramid_fanout)
+                         for c in cell_counts.values())
+            probes = (probes - inner) + self.cost_model.pyramid_probe_count(
+                [max(1, int(e)) for e in inner_extents],
+                self.pyramid_fanout, levels)
         fraction = min(1.0, scan_cells / grid_cells)
         return self.cost_model.whatif_seconds(
             probes,

@@ -386,6 +386,14 @@ class Compactor:
             store.put_meta("generation", shared["generation"])
             report.pruned_ops = binding.prune(list(snap),
                                               report.watermark)
+            # Repair the demoted ancestor chains of every folded cell.
+            # Cells still resident after a partial compaction must keep
+            # their demotion markers (keep_demoted), so summarized nodes
+            # never cover an unfolded op.
+            from repro.pyramid import PYRAMID_STATE_KEY, refresh_cells
+            if PYRAMID_STATE_KEY in binding.index.state:
+                refresh_cells(session, binding.index, sorted(snap),
+                              keep_demoted=binding.resident_cells)
             return {"pruned": report.pruned_ops}
 
         workflow = Workflow(f"delta-compact-{table.name.lower()}")

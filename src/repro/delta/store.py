@@ -271,6 +271,13 @@ class DeltaBinding:
                 self._resident.add(cell)
             self._resident_ops += len(ops)
             self._save_state()
+            # Delta-resident cells can no longer be answered from any
+            # summarized ancestor: demote the touched cells' chains so
+            # pyramid readers fall back to exact per-cell handling (the
+            # markers are recomputed at compaction).
+            from repro.pyramid import PYRAMID_STATE_KEY, demote_cells
+            if PYRAMID_STATE_KEY in self.index.state:
+                demote_cells(self.session, self.index, sorted(grouped))
         return len(ops)
 
     def _require_keys(self, kind: str) -> None:

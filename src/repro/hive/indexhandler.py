@@ -61,6 +61,10 @@ class QueryIndexContext:
     #: registered layout); None = cost-based choice.  Differential
     #: harnesses use this to compare layouts against each other.
     force_layout: Optional[str] = None
+    #: answer the inner region from the aggregation pyramid when one is
+    #: built (``src/repro/pyramid/``); False forces the flat per-GFU
+    #: header probes.  Differential harnesses compare the two modes.
+    use_pyramid: bool = True
 
 
 @dataclass
@@ -105,6 +109,13 @@ class IndexAccessPlan:
     #: name); None whenever the index has no replica fleet, keeping
     #: pre-fleet plans (and their fingerprints) byte-identical.
     layout: Optional[str] = None
+    #: aggregation-pyramid decomposition of the inner region: highest
+    #: node level used, summarizable nodes used, and level-0 fringe
+    #: probes issued.  All zero whenever the pyramid path did not run,
+    #: keeping flat-path plans (and their fingerprints) byte-identical.
+    pyramid_levels: int = 0
+    pyramid_nodes: int = 0
+    pyramid_leaves: int = 0
 
 
 @dataclass

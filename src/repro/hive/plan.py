@@ -117,6 +117,13 @@ class Plan:
             elif access.header_states is not None:
                 lines.append("  headers: inner region answered from "
                              "pre-computed aggregates")
+                if access.pyramid_nodes or access.pyramid_leaves:
+                    # Only emitted when the pyramid path ran, so flat
+                    # header-path plan text (and every fingerprint built
+                    # from it) is unchanged.
+                    lines.append(f"  pyramid: levels={access.pyramid_levels}"
+                                 f" nodes={access.pyramid_nodes}"
+                                 f" leaves={access.pyramid_leaves}")
         else:
             lines.append("index: none (full scan)")
         lines.append(f"splits: {self.splits}")
@@ -162,6 +169,12 @@ class Plan:
                 # Only present with a replica fleet, so fleetless plan
                 # dicts (and their fingerprints) are unchanged.
                 index["layout"] = access.layout
+            if access.pyramid_nodes or access.pyramid_leaves:
+                # Only present when the pyramid path ran, so flat-path
+                # plan dicts (and their fingerprints) are unchanged.
+                index["pyramid_levels"] = access.pyramid_levels
+                index["pyramid_nodes"] = access.pyramid_nodes
+                index["pyramid_leaves"] = access.pyramid_leaves
         summary = {
             "table": self.table,
             "stored_as": self.stored_as,

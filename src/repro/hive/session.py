@@ -76,6 +76,9 @@ class QueryOptions:
     #: registered layout name); None = cost-based routing.  Only
     #: meaningful for tables whose DGF index carries a replica fleet.
     dgf_layout: Optional[str] = None
+    #: disable the aggregation-pyramid read path while keeping the
+    #: pyramid built (differential harnesses compare the two modes)
+    dgf_pyramid: bool = True
     #: reducers used for GROUP BY jobs
     group_reducers: int = 8
 
@@ -423,6 +426,46 @@ class HiveSession:
     def layout_report(self) -> List[Dict[str, Any]]:
         """Registered layouts and their liveness (delegates to HDFS)."""
         return self.fs.layout_report()
+
+    # ---------------------------------------------------- aggregation pyramid
+    def build_pyramid(self, table: str, index: str,
+                      fanout: int = 2) -> Dict[str, Any]:
+        """Materialize the multi-resolution aggregation pyramid over a
+        built DGF index's GFU headers (and over every registered replica
+        layout), enabling the pyramid read path for inner regions.  See
+        :mod:`repro.pyramid` and docs/pyramid.md."""
+        from repro.core.dgf import fleet
+        from repro.errors import IndexError_
+        from repro.pyramid import PYRAMID_STATE_KEY, rebuild_pyramid
+        info = self.metastore.get_index(table, index)
+        if info.handler != "dgf":
+            raise IndexError_(
+                f"index {index!r} uses handler {info.handler!r}; the "
+                "aggregation pyramid only applies to DGF indexes")
+        if not info.built:
+            raise IndexError_(
+                f"index {index!r} has not been built; build it before "
+                "adding a pyramid")
+        if fanout < 2:
+            raise IndexError_(f"pyramid fanout must be >= 2, got {fanout}")
+        info.state[PYRAMID_STATE_KEY] = {"fanout": fanout, "layouts": {}}
+        summary = {"primary": rebuild_pyramid(self, info)}
+        for layout_name in fleet.registered_layouts(info):
+            summary[layout_name] = rebuild_pyramid(self, info,
+                                                   layout_name=layout_name)
+        return summary
+
+    def drop_pyramid(self, table: str, index: str) -> None:
+        """Remove the index's aggregation pyramid (all layouts) and
+        disable the pyramid read path.  The index itself is untouched."""
+        from repro.core.dgf import fleet
+        from repro.pyramid import PYRAMID_STATE_KEY, drop_pyramid
+        info = self.metastore.get_index(table, index)
+        drop_pyramid(self, info.table, info.name)
+        for layout_name in fleet.registered_layouts(info):
+            drop_pyramid(self, info.table, info.name,
+                         layout_name=layout_name)
+        info.state.pop(PYRAMID_STATE_KEY, None)
 
     # ----------------------------------------------------------- data loading
     def load_rows(self, table_name: str, rows: Iterable[Sequence[Any]],
@@ -805,7 +848,8 @@ class HiveSession:
             use_precompute=options.dgf_use_precompute,
             referenced_columns=analysis.referenced_columns,
             group_columns=group_columns,
-            force_layout=options.dgf_layout)
+            force_layout=options.dgf_layout,
+            use_pyramid=options.dgf_pyramid)
         priority = {"dgf": 0, "aggregate": 1, "bitmap": 2, "compact": 3}
         for index in sorted(indexes,
                             key=lambda i: priority.get(i.handler, 9)):

@@ -296,6 +296,28 @@ class CostModel:
         """
         return self.layout_route_seconds(kv_gets, est_records, est_bytes)
 
+    # ------------------------------------------------------- pyramid probes
+    def pyramid_probe_count(self, extents: Sequence[int], fanout: int,
+                            levels: int) -> int:
+        """KV probes the aggregation pyramid pays for an inner region of
+        ``extents[i]`` cells per dimension (vs ``prod(extents)`` flat
+        header gets).
+
+        Runs the planner's actual greedy decomposition
+        (:func:`repro.pyramid.decompose.cover_box`) on a worst-case
+        *misaligned* box (origin 1, not 0): an aligned box would cover
+        with fewer, larger nodes, and the router/advisor must never
+        under-price a layout.  Probe counts depend on grid geometry, not
+        data volume, so ``data_scale`` does not apply.
+        """
+        # Imported here: repro.pyramid imports the DGF stack, which
+        # imports this module.
+        from repro.pyramid.decompose import cover_box
+        lo = tuple(1 for _ in extents)
+        hi = tuple(max(1, int(e)) for e in extents)
+        nodes, leaves = cover_box(lo, hi, frozenset(), fanout, levels)
+        return len(nodes) + len(leaves)
+
     # ------------------------------------------------------------ raw writes
     def sequential_write_seconds(self, nbytes: int,
                                  parallel_streams: int = 1) -> float:

@@ -58,6 +58,17 @@ FAULT_COUNTER_PREFIX = "fault."
 VECTOR_COUNTER_PREFIX = "vector."
 VECTOR_ATTR = "vectorized"
 
+#: pyramid observability rides on the v1 schema the same way: the handler's
+#: pyramid read path opens one ``dgf.pyramid`` span (physical node fetches
+#: plus ``pyramid.*`` counters), and maintenance work traces under
+#: ``pyramid:``-prefixed spans (``pyramid:build``, ``pyramid:refresh``,
+#: ``pyramid:demote``).  :func:`strip_pyramid_data` removes all of it,
+#: recovering the trace the flat header path would have emitted — which is
+#: how the pyramid differential harness compares the two modes.
+PYRAMID_SPAN = "dgf.pyramid"
+PYRAMID_SPAN_PREFIX = "pyramid:"
+PYRAMID_COUNTER_PREFIX = "pyramid."
+
 Number = Union[int, float]
 
 
@@ -381,6 +392,26 @@ def strip_vector_data(node: Dict[str, Any]) -> Dict[str, Any]:
     node["counters"] = {k: v for k, v in node["counters"].items()
                         if not k.startswith(VECTOR_COUNTER_PREFIX)}
     node["children"] = [strip_vector_data(c) for c in node["children"]]
+    return node
+
+
+def strip_pyramid_data(node: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of a span-document subtree without pyramid observability.
+
+    Drops every child span named :data:`PYRAMID_SPAN` or starting with
+    :data:`PYRAMID_SPAN_PREFIX`, and every counter starting with
+    :data:`PYRAMID_COUNTER_PREFIX`, recursively.  Applied to a
+    pyramid-accelerated run's trace this recovers the byte-identical
+    flat-header document, because the pyramid reports its work only
+    through those namespaces (the logical per-query accounting —
+    ``kv.gets``, ``gfus``, simulated times — is replayed unchanged).
+    """
+    node = dict(node)
+    node["counters"] = {k: v for k, v in node["counters"].items()
+                        if not k.startswith(PYRAMID_COUNTER_PREFIX)}
+    node["children"] = [strip_pyramid_data(c) for c in node["children"]
+                        if c["name"] != PYRAMID_SPAN
+                        and not c["name"].startswith(PYRAMID_SPAN_PREFIX)]
     return node
 
 

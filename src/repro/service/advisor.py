@@ -123,9 +123,15 @@ class Advisor:
                 # runs; compute them on first report.
                 totals = fleet.refresh_stats(session, table, store,
                                              table.data_location)
-            evaluator = WhatIfEvaluator(session.cost_model, stats,
-                                        totals["records"],
-                                        totals["bytes"])
+            # A pyramid-enabled index answers inner regions in O(log n)
+            # probes; price candidate grids with the same geometry so
+            # fine grids are not penalized for probes they never pay.
+            from repro.pyramid import pyramid_fanout, pyramid_state
+            evaluator = WhatIfEvaluator(
+                session.cost_model, stats,
+                totals["records"], totals["bytes"],
+                pyramid_fanout=pyramid_fanout(index)
+                if pyramid_state(index) else None)
             advisor = PolicyAdvisor(table.schema, index.columns,
                                     cluster=session.cluster)
             primary_counts = {key: k_max - k_min + 1

@@ -12,10 +12,11 @@ dominates.  This cache absorbs it:
 * **What is cached.**  Whole KV entries, keyed by their full store key:
   ``dgf:<table>:<index>:<gfukey>`` values (header + slice locations) and
   ``dgfmeta:<table>:<index>:<name>`` metadata (splitting policy, min/max
-  bounds, pre-compute list).  *Negative* entries — GFU keys probed by
-  Algorithm 3 but absent from the store (empty grid cells) — are cached
-  too, which matters because most candidate keys of a query region are
-  empty.
+  bounds, pre-compute list) and ``dgfpyr:<table>:<index>:<node>``
+  aggregation-pyramid nodes (:mod:`repro.pyramid`).  *Negative* entries —
+  GFU keys probed by Algorithm 3 but absent from the store (empty grid
+  cells), or pyramid nodes over empty blocks — are cached too, which
+  matters because most candidate keys of a query region are empty.
 * **Bounds.**  LRU with both an entry count and a byte budget
   (:func:`repro.mapreduce.engine.estimate_size`-based sizing, the same
   estimator the paper-size accounting uses).
@@ -100,9 +101,12 @@ class CacheStats:
 
 
 def _kind_of(key: str) -> str:
-    """Metric label: GFU entry, index metadata or streaming-delta entry."""
+    """Metric label: GFU entry, index metadata, pyramid node or
+    streaming-delta entry."""
     if key.startswith("dgfmeta:"):
         return "meta"
+    if key.startswith("dgfpyr:"):
+        return "pyramid"
     if key.startswith(("delta:", "deltameta:")):
         return "delta"
     return "gfu"
@@ -307,7 +311,8 @@ class GfuMetadataCache:
         """Full invalidation of one index's namespace (rebuild / drop)."""
         ns = f"{table.lower()}:{index.lower()}:"
         return (self.invalidate_prefix(f"dgf:{ns}")
-                + self.invalidate_prefix(f"dgfmeta:{ns}"))
+                + self.invalidate_prefix(f"dgfmeta:{ns}")
+                + self.invalidate_prefix(f"dgfpyr:{ns}"))
 
     def invalidate_table(self, table: str) -> int:
         """Full invalidation of every index on ``table`` (append path).
@@ -318,7 +323,8 @@ class GfuMetadataCache:
         """
         t = table.lower()
         return (self.invalidate_prefix(f"dgf:{t}:")
-                + self.invalidate_prefix(f"dgfmeta:{t}:"))
+                + self.invalidate_prefix(f"dgfmeta:{t}:")
+                + self.invalidate_prefix(f"dgfpyr:{t}:"))
 
     def invalidate_cells(self, table: str, index: str,
                          cells: Iterable[str]) -> int:

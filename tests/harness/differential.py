@@ -168,6 +168,10 @@ class Workload:
     extra_tables: Tuple[Tuple[str, str, Tuple[Tuple, ...]], ...] = ()
     #: replica-fleet layouts built after the index (needs ``index_name``)
     layouts: Tuple[LayoutSpec, ...] = ()
+    #: build the aggregation pyramid (``session.build_pyramid``) with this
+    #: fanout after the index and layouts, before appends — so appends
+    #: exercise incremental pyramid maintenance.  None = no pyramid.
+    pyramid_fanout: Optional[int] = None
 
 
 def run_workload(workload: Workload,
@@ -224,6 +228,10 @@ def run_workload(workload: Workload,
             "index_size_bytes": report.index_size_bytes,
             "details": dict(report.details),
         }
+    if workload.pyramid_fanout:
+        fingerprint["pyramid"] = session.build_pyramid(
+            workload.table, workload.index_name,
+            fanout=workload.pyramid_fanout)
     if workload.append_rows:
         from repro.core.dgf.builder import append_with_dgf
         report = append_with_dgf(session, workload.table,
@@ -290,6 +298,9 @@ def run_service_workload(workload: Workload, concurrency: int,
             workload.table, workload.index_name, spec.name,
             grid=dict(spec.grid), stored_as=spec.stored_as,
             placement=spec.placement, datanodes=spec.datanodes)
+    if workload.pyramid_fanout:
+        session.build_pyramid(workload.table, workload.index_name,
+                              fanout=workload.pyramid_fanout)
     if workload.append_rows:
         from repro.core.dgf.builder import append_with_dgf
         append_with_dgf(session, workload.table, workload.index_name,

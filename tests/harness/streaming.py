@@ -108,7 +108,8 @@ def materialized_rows() -> List[Tuple]:
 
 def make_session(execution: Optional[ExecutionConfig] = None,
                  cache: Any = None, faults: Any = None,
-                 stored_as: str = "TEXTFILE") -> HiveSession:
+                 stored_as: str = "TEXTFILE",
+                 pyramid: bool = False) -> HiveSession:
     session = HiveSession(num_datanodes=4, execution=execution,
                           cache=cache, faults=faults)
     session.fs.block_size = 2048
@@ -118,6 +119,10 @@ def make_session(execution: Optional[ExecutionConfig] = None,
     session.load_rows(TABLE, rows[:half])
     session.load_rows(TABLE, rows[half:])
     session.execute(INDEX_SQL)
+    if pyramid:
+        # Built before ingest, so the streamed ops exercise demotion and
+        # both compactions exercise the pyramid repair path.
+        session.build_pyramid(TABLE, INDEX)
     return session
 
 
@@ -133,14 +138,16 @@ def apply_stream(session: HiveSession) -> StreamingWriter:
 
 def run_streaming_workload(execution: Optional[ExecutionConfig] = None,
                            cache: Any = None, faults: Any = None,
-                           stored_as: str = "TEXTFILE") -> Dict[str, Any]:
+                           stored_as: str = "TEXTFILE",
+                           pyramid: bool = False) -> Dict[str, Any]:
     """One full streaming scenario; returns the 3-phase fingerprint.
 
     With ``faults`` armed, the injector activates *before* ingest, so the
     stream, both compactions and every query window run under chaos.
+    ``pyramid=True`` builds the aggregation pyramid before ingest.
     """
     session = make_session(execution=execution, cache=cache, faults=faults,
-                           stored_as=stored_as)
+                           stored_as=stored_as, pyramid=pyramid)
     if session.fault_injector is not None:
         session.fault_injector.activate_datanode_faults(session.fs)
     apply_stream(session)

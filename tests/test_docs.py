@@ -105,6 +105,15 @@ def test_advisor_doctests():
     assert results.failed == 0
 
 
+def test_pyramid_doctests():
+    """Every ``>>>`` example in docs/pyramid.md must run verbatim."""
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "pyramid.md"),
+        module_relative=False, verbose=False)
+    assert results.attempted > 25, "doctest examples went missing"
+    assert results.failed == 0
+
+
 def test_vectorized_doctests():
     """Every ``>>>`` example in docs/vectorized.md must run verbatim.
 

@@ -1,0 +1,180 @@
+"""Property tests for GFU header additivity (ISSUE 10, satellite 2).
+
+The pyramid's correctness rests on one algebraic fact: folding header
+states with the canonical merge functions is associative and (for the
+order-insensitive aggregates) commutative, so a fold over any grouping
+of cells — flat, left-to-right, or hierarchically through pyramid
+levels — produces the same state.  These Hypothesis properties pin that
+contract on ``merge_function_for``, ``GFUValue.merge``,
+``DgfIndexHandler._merge_headers`` and the pyramid's ``fold_children``.
+
+Float strategies draw only dyadic rationals (``k / 64``): additive folds
+over them are exact in binary floating point, so associativity checks
+are equality checks, not approximations — matching the differential
+harness's byte-identity standard.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.dgf.gfu import GFUValue
+from repro.core.dgf.handler import DgfIndexHandler, merge_function_for
+from repro.errors import DGFError
+from repro.pyramid import PyramidNode, fold_children
+
+AGG_KEYS = ("sum(powerconsumed)", "count(powerconsumed)",
+            "min(powerconsumed)", "max(powerconsumed)")
+
+#: exact binary fractions in [-8, 8): folds are bit-identical however
+#: they are associated.
+dyadic = st.integers(min_value=-512, max_value=511).map(lambda k: k / 64.0)
+
+
+def states_for(key):
+    if key.startswith("count("):
+        return st.integers(min_value=0, max_value=10_000)
+    return dyadic
+
+
+@st.composite
+def headers(draw):
+    """A header dict with a random subset of the canonical keys —
+    missing keys model cells whose precompute set differs."""
+    keys = draw(st.sets(st.sampled_from(AGG_KEYS), min_size=0, max_size=4))
+    return {key: draw(states_for(key)) for key in keys}
+
+
+def fold_flat(key, parts):
+    fn = merge_function_for(key)
+    state = None
+    for part in parts:
+        state = part if state is None else fn.merge(state, part)
+    return state
+
+
+@settings(max_examples=200)
+@given(key=st.sampled_from(AGG_KEYS),
+       parts=st.lists(dyadic, min_size=1, max_size=12),
+       split=st.integers(min_value=0, max_value=12))
+def test_merge_fold_is_associative(key, parts, split):
+    """fold(a ++ b) == merge(fold(a), fold(b)) for every split point."""
+    if key.startswith("count("):
+        parts = [abs(int(p * 64)) for p in parts]
+    split = min(split, len(parts))
+    left, right = parts[:split], parts[split:]
+    whole = fold_flat(key, parts)
+    fn = merge_function_for(key)
+    lf, rf = fold_flat(key, left), fold_flat(key, right)
+    if lf is None:
+        assert whole == rf
+    elif rf is None:
+        assert whole == lf
+    else:
+        assert fn.merge(lf, rf) == whole
+
+
+@settings(max_examples=200)
+@given(key=st.sampled_from(("count(powerconsumed)", "min(powerconsumed)",
+                            "max(powerconsumed)")),
+       parts=st.lists(dyadic, min_size=1, max_size=12),
+       seed=st.randoms(use_true_random=False))
+def test_merge_fold_is_commutative_for_order_free_aggs(key, parts, seed):
+    """count/min/max folds ignore order entirely.  (sum is commutative
+    over dyadics too, but only because they are exact; the system never
+    relies on it — folds always run in canonical key order.)"""
+    if key.startswith("count("):
+        parts = [abs(int(p * 64)) for p in parts]
+    shuffled = list(parts)
+    seed.shuffle(shuffled)
+    assert fold_flat(key, shuffled) == fold_flat(key, parts)
+
+
+@settings(max_examples=100)
+@given(parts=st.lists(dyadic, min_size=1, max_size=12),
+       seed=st.randoms(use_true_random=False))
+def test_sum_fold_is_exact_over_dyadics(parts, seed):
+    shuffled = list(parts)
+    seed.shuffle(shuffled)
+    assert fold_flat("sum(x)", shuffled) == fold_flat("sum(x)", parts)
+
+
+def test_merge_function_for_rejects_non_additive():
+    with pytest.raises(DGFError):
+        merge_function_for("avg(powerconsumed)")
+    with pytest.raises(DGFError):
+        merge_function_for("median(powerconsumed)")
+
+
+@settings(max_examples=150)
+@given(hs=st.lists(headers(), min_size=1, max_size=10),
+       split=st.integers(min_value=0, max_value=10))
+def test_gfuvalue_merge_matches_flat_fold(hs, split):
+    """Folding GFUValues pairwise in order equals the flat per-key fold,
+    and keys missing from some headers are carried through unchanged."""
+    fns = {key: merge_function_for(key) for key in AGG_KEYS}
+    acc = GFUValue(header=dict(hs[0]), records=1)
+    for h in hs[1:]:
+        acc.merge(GFUValue(header=dict(h), records=1), fns)
+    for key in AGG_KEYS:
+        parts = [h[key] for h in hs if key in h]
+        if parts:
+            assert acc.header[key] == fold_flat(key, parts)
+        else:
+            assert key not in acc.header
+    assert acc.records == len(hs)
+
+
+@settings(max_examples=150)
+@given(hs=st.lists(headers(), min_size=1, max_size=12),
+       split=st.integers(min_value=0, max_value=12))
+def test_merge_headers_agrees_with_pyramid_fold(hs, split):
+    """The handler's inner-header fold over cells equals the same fold
+    over {left-subtree node, right-subtree node} — the exact situation
+    a pyramid cover produces, for every possible split."""
+    handler = DgfIndexHandler()
+    values = [GFUValue(header=dict(h), records=1) for h in hs]
+    flat = handler._merge_headers(list(AGG_KEYS), values)
+    split = min(split, len(hs))
+    groups = [g for g in (values[:split], values[split:]) if g]
+    nodes = [fold_children(g) for g in groups]
+    via_pyramid = handler._merge_headers(list(AGG_KEYS), nodes)
+    assert via_pyramid == flat
+
+
+@settings(max_examples=100)
+@given(hs=st.lists(headers(), min_size=1, max_size=16))
+def test_fold_of_folds_equals_single_fold(hs):
+    """fold_children is associative over arbitrary binary groupings:
+    fold(fold(pairs)) == fold(all) — the pyramid's level-on-level
+    invariant."""
+    values = [GFUValue(header=dict(h), records=2) for h in hs]
+    single = fold_children(values)
+    pairs = [fold_children(values[i:i + 2])
+             for i in range(0, len(values), 2)]
+    nested = fold_children(pairs)
+    assert nested.header == single.header
+    assert nested.cells == single.cells == len(values)
+    assert nested.records == single.records == 2 * len(values)
+
+
+@settings(max_examples=100)
+@given(sums=st.lists(dyadic, min_size=1, max_size=10),
+       counts=st.lists(st.integers(min_value=0, max_value=100),
+                       min_size=1, max_size=10))
+def test_avg_derivation_survives_hierarchical_fold(sums, counts):
+    """avg(x) is answered from sum(x)/count(*) components; folding the
+    components hierarchically leaves the derived average unchanged."""
+    n = min(len(sums), len(counts))
+    handler = DgfIndexHandler()
+    values = [GFUValue(header={"sum(x)": s, "count(*)": c}, records=c)
+              for s, c in zip(sums[:n], counts[:n])]
+    flat = handler._merge_headers(["avg(x)"], values)
+    node = fold_children(values)
+    nested = handler._merge_headers(["avg(x)"], [node])
+    assert nested == flat
+    if sum(counts[:n]):
+        total, count = flat["avg(x)"]
+        assert total == sum(sums[:n])
+        assert count == sum(counts[:n])
